@@ -1,0 +1,35 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test race bench experiments fuzz examples clean
+
+all: build test
+
+build:
+	go build ./...
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./internal/...
+
+bench:
+	go test -bench=. -benchmem -benchtime=1x .
+
+experiments:
+	go run ./cmd/experiments -fig all
+
+fuzz:
+	go test -fuzz=FuzzUnpack -fuzztime=30s ./internal/dnswire/
+	go test -fuzz=FuzzParseMaster -fuzztime=30s ./internal/zone/
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/gtm
+	go run ./examples/attackmitigation
+	go run ./examples/failoverdrill
+	go run ./examples/adhsops
+
+clean:
+	go clean ./...

@@ -1,0 +1,130 @@
+// Command authdns is the authoritative DNS server over real UDP and TCP
+// sockets: the same zone store, lookup engine, and (optionally) scoring
+// pipeline the simulated platform runs, behind the standard wire protocol.
+//
+// Usage:
+//
+//	authdns -zone ex.test=ex.zone -zone other.test=other.zone \
+//	        -udp 127.0.0.1:5300 -tcp 127.0.0.1:5300
+//
+// Zones use RFC 1035 master-file syntax. AXFR is served over TCP unless
+// -no-axfr is set. -filters enables the §4.3.3 scoring pipeline with the
+// NXDOMAIN filter armed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"akamaidns/internal/dnswire"
+	"akamaidns/internal/filters"
+	"akamaidns/internal/nameserver"
+	"akamaidns/internal/netserve"
+	"akamaidns/internal/zone"
+)
+
+type zoneFlags []string
+
+func (z *zoneFlags) String() string     { return strings.Join(*z, ",") }
+func (z *zoneFlags) Set(s string) error { *z = append(*z, s); return nil }
+
+func main() {
+	var zones, secondaries zoneFlags
+	flag.Var(&zones, "zone", "origin=path of a master-file zone (repeatable)")
+	flag.Var(&secondaries, "secondary", "origin=primary-tcp-addr to replicate via SOA refresh + AXFR (repeatable)")
+	udp := flag.String("udp", "127.0.0.1:5300", "UDP listen address ('' disables)")
+	tcp := flag.String("tcp", "127.0.0.1:5300", "TCP listen address ('' disables)")
+	noAXFR := flag.Bool("no-axfr", false, "refuse zone transfers")
+	withFilters := flag.Bool("filters", false, "enable the query scoring pipeline")
+	cookies := flag.Bool("cookies", false, "enable DNS Cookies (RFC 7873)")
+	requireCookies := flag.Bool("require-cookies", false, "refuse UDP queries without a valid server cookie")
+	flag.Parse()
+
+	if len(zones) == 0 && len(secondaries) == 0 {
+		fmt.Fprintln(os.Stderr, "authdns: at least one -zone origin=path or -secondary origin=addr is required")
+		os.Exit(2)
+	}
+	store := zone.NewStore()
+	open := func(path string) (io.ReadCloser, error) { return os.Open(path) }
+	if err := netserve.LoadZonesInto(store, zones, open); err != nil {
+		fmt.Fprintln(os.Stderr, "authdns:", err)
+		os.Exit(1)
+	}
+	eng := nameserver.NewEngine(store)
+
+	var secs []*netserve.Secondary
+	for _, spec := range secondaries {
+		eq := strings.IndexByte(spec, '=')
+		if eq < 0 {
+			fmt.Fprintf(os.Stderr, "authdns: -secondary %q needs origin=primary-addr\n", spec)
+			os.Exit(2)
+		}
+		origin, err := dnswire.ParseName(spec[:eq])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "authdns:", err)
+			os.Exit(1)
+		}
+		secs = append(secs, netserve.NewSecondary(store, origin, spec[eq+1:]))
+	}
+
+	var pipe *filters.Pipeline
+	if *withFilters {
+		nx := filters.NewNXDomain(nameserver.StoreZoneInfo{Store: store}, filters.PerHotZone)
+		rl := filters.NewRateLimit()
+		pipe = filters.NewPipeline(rl, nx)
+	}
+
+	cfg := netserve.DefaultConfig()
+	cfg.UDPAddr = *udp
+	cfg.TCPAddr = *tcp
+	cfg.AllowTransfer = !*noAXFR
+	cfg.Cookies = *cookies || *requireCookies
+	cfg.RequireCookies = *requireCookies
+	cfg.CookieSecret = uint64(os.Getpid())*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03
+	srv := netserve.New(cfg, eng, pipe)
+	// IXFR history: record the loaded version of every zone so secondaries
+	// presenting our serial get the cheap "up to date" answer.
+	srv.History = zone.NewHistory(8)
+	for _, origin := range store.Origins() {
+		srv.History.Record(store.Get(origin))
+	}
+	if len(secs) > 0 {
+		srv.OnNotify = func(origin dnswire.Name) {
+			for _, s := range secs {
+				if s.Origin == origin {
+					s.Notify()
+				}
+			}
+		}
+	}
+	if err := srv.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "authdns:", err)
+		os.Exit(1)
+	}
+	for _, s := range secs {
+		s.Start()
+		fmt.Printf("authdns: secondary for %s from %s\n", s.Origin, s.Primary)
+	}
+	for _, origin := range store.Origins() {
+		fmt.Printf("authdns: serving zone %s (%d records)\n", origin, store.Get(origin).NumRecords())
+	}
+	if a := srv.UDPAddrActual(); a != "" {
+		fmt.Printf("authdns: udp %s\n", a)
+	}
+	if a := srv.TCPAddrActual(); a != "" {
+		fmt.Printf("authdns: tcp %s\n", a)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	srv.Close()
+	fmt.Printf("authdns: served %d udp / %d tcp queries (%d truncated, %d transfers, %d discarded)\n",
+		srv.Metrics.UDPQueries.Load(), srv.Metrics.TCPQueries.Load(),
+		srv.Metrics.Truncated.Load(), srv.Metrics.Transfers.Load(), srv.Metrics.Discarded.Load())
+}

@@ -1,0 +1,102 @@
+// Command dnsq is a small dig-like DNS client for exercising authdns (or
+// any authoritative server).
+//
+// Usage:
+//
+//	dnsq -server 127.0.0.1:5300 www.ex.test A
+//	dnsq -server 127.0.0.1:5300 -tcp ex.test AXFR
+//	dnsq -server 127.0.0.1:5300 -serial 7 ex.test IXFR
+//	dnsq -server 127.0.0.1:5300 -edns 4096 big.ex.test TXT
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"akamaidns/internal/dnswire"
+	"akamaidns/internal/netserve"
+)
+
+func main() {
+	server := flag.String("server", "127.0.0.1:5300", "server address")
+	useTCP := flag.Bool("tcp", false, "query over TCP")
+	edns := flag.Int("edns", 0, "advertise EDNS0 with this UDP payload size (0 = no EDNS)")
+	timeout := flag.Duration("timeout", 3*time.Second, "query timeout")
+	serial := flag.Uint("serial", 0, "for IXFR: the serial this client already holds")
+	flag.Parse()
+	if flag.NArg() < 1 || flag.NArg() > 2 {
+		fmt.Fprintln(os.Stderr, "usage: dnsq [flags] <name> [type]")
+		os.Exit(2)
+	}
+	name, err := dnswire.ParseName(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dnsq:", err)
+		os.Exit(1)
+	}
+	qtype := dnswire.TypeA
+	if flag.NArg() == 2 {
+		t, ok := dnswire.TypeFromString(flag.Arg(1))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dnsq: unknown type %q\n", flag.Arg(1))
+			os.Exit(1)
+		}
+		qtype = t
+	}
+
+	if qtype == dnswire.TypeIXFR {
+		res, err := netserve.TransferIncremental(*server, name, uint32(*serial), *timeout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dnsq:", err)
+			os.Exit(1)
+		}
+		switch {
+		case res.UpToDate:
+			fmt.Printf(";; zone is current at serial %d\n", *serial)
+		case res.Delta != nil:
+			fmt.Printf(";; incremental %d -> %d\n", res.Delta.FromSerial, res.Delta.ToSerial)
+			for _, rr := range res.Delta.Deleted {
+				fmt.Println("- ", rr)
+			}
+			for _, rr := range res.Delta.Added {
+				fmt.Println("+ ", rr)
+			}
+		case res.Full != nil:
+			for _, rr := range res.Full {
+				fmt.Println(rr)
+			}
+			fmt.Printf(";; full transfer: %d records\n", len(res.Full))
+		}
+		return
+	}
+
+	if qtype == dnswire.TypeAXFR {
+		recs, err := netserve.Transfer(*server, name, *timeout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dnsq:", err)
+			os.Exit(1)
+		}
+		for _, rr := range recs {
+			fmt.Println(rr)
+		}
+		fmt.Printf(";; %d records transferred\n", len(recs))
+		return
+	}
+
+	q := dnswire.NewQuery(uint16(time.Now().UnixNano()), name, qtype)
+	if *edns > 0 {
+		q.Additional = append(q.Additional, dnswire.NewOPT(uint16(*edns)))
+	}
+	start := time.Now()
+	resp, err := netserve.Exchange(*server, q, *useTCP, *timeout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dnsq:", err)
+		os.Exit(1)
+	}
+	fmt.Println(resp)
+	fmt.Printf(";; query time: %v, server: %s\n", time.Since(start).Round(time.Microsecond), *server)
+	if resp.Truncated && !*useTCP {
+		fmt.Println(";; truncated: retry with -tcp")
+	}
+}

@@ -1,0 +1,74 @@
+// Command experiments regenerates the paper's figures and in-text tables
+// on the simulated substrates and prints the series each figure plots.
+//
+// Usage:
+//
+//	experiments -fig all            # every artifact, laptop scale
+//	experiments -fig fig8           # one artifact
+//	experiments -fig fig11 -scale large
+//
+// Artifact ids: fig1 fig2 fig3 fig4 consistency fig8 fig9 fig10 fig11
+// fig12 rt ipttl delegation push predict.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"akamaidns/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "artifact id to regenerate, or 'all'")
+	scale := flag.String("scale", "small", "'small' (laptop) or 'large' (paper-sized populations)")
+	flag.Parse()
+
+	small := *scale != "large"
+	runners := map[string]func() experiments.Report{
+		"fig1":        func() experiments.Report { return experiments.Fig1WorkloadWeek(small) },
+		"fig2":        func() experiments.Report { return experiments.Fig2Concentration(small) },
+		"fig3":        func() experiments.Report { return experiments.Fig3PerResolverRates(small) },
+		"fig4":        func() experiments.Report { return experiments.Fig4WeeklyChange(small) },
+		"consistency": func() experiments.Report { return experiments.TableResolverConsistency(small) },
+		"fig8":        func() experiments.Report { return experiments.Fig8Failover(small) },
+		"fig9":        func() experiments.Report { return experiments.Fig9DecisionTree() },
+		"fig10":       func() experiments.Report { return experiments.Fig10NXDomainFilter(small) },
+		"fig11":       func() experiments.Report { return experiments.Fig11TwoTierSpeedup(small) },
+		"fig12":       func() experiments.Report { return experiments.Fig12ResolutionTimes(small) },
+		"rt":          func() experiments.Report { return experiments.TableRT(small) },
+		"ipttl":       func() experiments.Report { return experiments.TableIPTTLConsistency(small) },
+		"delegation":  experiments.TableDelegationCapacity,
+		"push":        func() experiments.Report { return experiments.ExtPushSpeedup(small) },
+		"predict":     func() experiments.Report { return experiments.ExtCatchmentPrediction(small) },
+	}
+
+	if *fig == "all" {
+		ok := true
+		for _, rep := range experiments.All(*scale) {
+			fmt.Println(rep)
+			if !rep.Pass {
+				ok = false
+			}
+		}
+		if !ok {
+			fmt.Fprintln(os.Stderr, "one or more artifacts did not match the paper's shape")
+			os.Exit(1)
+		}
+		return
+	}
+	run, found := runners[*fig]
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown artifact %q; known:", *fig)
+		for k := range runners {
+			fmt.Fprintf(os.Stderr, " %s", k)
+		}
+		fmt.Fprintln(os.Stderr)
+		os.Exit(2)
+	}
+	rep := run()
+	fmt.Println(rep)
+	if !rep.Pass {
+		os.Exit(1)
+	}
+}

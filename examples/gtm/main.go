@@ -1,0 +1,87 @@
+// GTM load balancing: an enterprise runs datacenters on three continents;
+// the mapping system directs each resolver to the nearest healthy,
+// uncrowded one with 20-second TTLs, reacting within seconds to liveness
+// and load changes — the GTM service of §1 plus the Mapping Intelligence
+// behaviour of §3.2.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"akamaidns/internal/anycast"
+	"akamaidns/internal/core"
+	"akamaidns/internal/dnswire"
+	"akamaidns/internal/netsim"
+	"akamaidns/internal/pop"
+	"akamaidns/internal/simtime"
+)
+
+func main() {
+	platform, err := core.New(core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	platform.SetupCDN()
+
+	// Three datacenters; Ashburn has double capacity.
+	platform.AddEdge("dc-ashburn", netsim.GeoPoint{Lat: 39, Lon: -77.5}, 2)
+	platform.AddEdge("dc-frankfurt", netsim.GeoPoint{Lat: 50.1, Lon: 8.7}, 1)
+	platform.AddEdge("dc-singapore", netsim.GeoPoint{Lat: 1.35, Lon: 103.8}, 1)
+	prop, err := platform.AddCDNProperty("gtm-shop", "dc-ashburn", "dc-frankfurt", "dc-singapore")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("GTM property %s balancing across 3 datacenters\n\n", prop.Hostname)
+
+	clients := map[string]*core.Client{
+		"boston":  platform.AddClient("boston", "na"),
+		"munich":  platform.AddClient("munich", "eu"),
+		"jakarta": platform.AddClient("jakarta", "as"),
+	}
+	platform.Converge(time.Minute)
+
+	ask := func(c *core.Client) string {
+		var answer string
+		c.Probe(anycast.CloudID(2), prop.Hostname, dnswire.TypeA, 3*time.Second,
+			func(_ simtime.Time, resp *pop.DNSResponse) {
+				if resp == nil || len(resp.Msg.Answers) == 0 {
+					answer = "timeout"
+					return
+				}
+				answer = resp.Msg.Answers[0].(*dnswire.A).Addr.String()
+			})
+		platform.Converge(4 * time.Second)
+		return answer
+	}
+	nameOf := map[string]string{}
+	for _, id := range []string{"dc-ashburn", "dc-frankfurt", "dc-singapore"} {
+		e, _ := platform.Mapper.Edge(id)
+		nameOf[e.Addr.String()] = id
+	}
+	show := func(tag string) {
+		fmt.Println(tag)
+		for _, city := range []string{"boston", "munich", "jakarta"} {
+			addr := ask(clients[city])
+			fmt.Printf("  %-8s -> %-14s (%s)\n", city, nameOf[addr], addr)
+		}
+		fmt.Println()
+	}
+
+	show("steady state: every client maps to its nearest datacenter")
+
+	// Frankfurt fails its health checks; mapping reroutes within one TTL.
+	platform.Mapper.SetAlive("dc-frankfurt", false)
+	show("dc-frankfurt down: munich fails over across the ocean")
+
+	platform.Mapper.SetAlive("dc-frankfurt", true)
+	platform.Mapper.SetLoad("dc-frankfurt", 0.97)
+	show("dc-frankfurt overloaded (97%): load shed away until it cools")
+
+	platform.Mapper.SetLoad("dc-frankfurt", 0.2)
+	show("dc-frankfurt at 20% load: traffic returns")
+
+	pub, del := platform.Bus.Counts()
+	fmt.Printf("mapping metadata: %d updates published, %d deliveries to nameservers\n", pub, del)
+}

@@ -1,0 +1,84 @@
+// Quickstart: assemble the platform, onboard an enterprise zone (ADHS),
+// and resolve names through the full stack — client → anycast routing →
+// PoP router ECMP → nameserver machine → authoritative answer.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"akamaidns/internal/core"
+	"akamaidns/internal/dnswire"
+	"akamaidns/internal/pop"
+	"akamaidns/internal/resolver"
+	"akamaidns/internal/simtime"
+)
+
+const exampleZone = `
+$TTL 300
+@     IN SOA ns1.example.test. hostmaster.example.test. ( 2026070501 3600 600 604800 30 )
+www   IN A     192.0.2.80
+www   IN A     192.0.2.81
+api   IN CNAME www
+blog  IN AAAA  2001:db8::80
+*.dev IN A     192.0.2.99
+mail  IN MX    10 mx1
+mx1   IN A     192.0.2.25
+`
+
+func main() {
+	// 1. Assemble a platform: 24 anycast clouds over 24 PoPs, two
+	// nameserver machines per PoP plus input-delayed instances, scoring
+	// filters attached.
+	opts := core.DefaultOptions()
+	platform, err := core.New(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("platform: %d PoPs, %d machines, %d network nodes\n",
+		len(platform.PoPs), len(platform.Machines), platform.Net.NumNodes())
+
+	// 2. Onboard an enterprise. The portal validates the zone, assigns a
+	// unique 6-of-24 cloud delegation set, and publishes the metadata.
+	ent, err := platform.AddEnterprise("example-corp", core.MustName("example.test"), exampleZone)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("enterprise %q hosted with delegation set {%s}\n", ent.Name, ent.DelegationSet)
+
+	// 3. Let BGP converge, then attach a resolver client in Europe.
+	platform.Converge(time.Minute)
+	client := platform.AddClient("r-paris", "eu")
+	platform.Converge(2 * time.Second)
+
+	// 4. Raw anycast probes: one query per delegation cloud.
+	for _, cloud := range ent.DelegationSet.Clouds()[:3] {
+		cloud := cloud
+		client.Probe(cloud, core.MustName("www.example.test"), dnswire.TypeA, 3*time.Second,
+			func(now simtime.Time, resp *pop.DNSResponse) {
+				if resp == nil {
+					fmt.Printf("cloud %2d: timeout\n", cloud)
+					return
+				}
+				fmt.Printf("cloud %2d: answered by %s/%s in %v (%d answers)\n",
+					cloud, resp.PoP, resp.Machine, now, len(resp.Msg.Answers))
+			})
+		platform.Converge(4 * time.Second)
+	}
+
+	// 5. Full recursive resolution with caching.
+	res := client.NewResolver(resolver.DefaultConfig("r-paris"), ent)
+	for _, qname := range []string{"api.example.test", "x.dev.example.test", "api.example.test"} {
+		qname := qname
+		res.Resolve(platform.Sched.Now(), core.MustName(qname), dnswire.TypeA, func(r resolver.Result) {
+			fmt.Printf("resolve %-22s rcode=%-8s answers=%d upstream-queries=%d elapsed=%v\n",
+				qname, r.RCode, len(r.Answers), r.Queries, r.Elapsed)
+		})
+		platform.Converge(3 * time.Second)
+	}
+	fmt.Printf("resolver cache: %d entries\n", res.Cache.Len())
+
+	answered, _, received := platform.TotalAnswered()
+	fmt.Printf("platform served %d/%d queries across all machines\n", answered, received)
+}

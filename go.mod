@@ -1,0 +1,3 @@
+module akamaidns
+
+go 1.22

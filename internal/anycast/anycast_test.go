@@ -1,0 +1,164 @@
+package anycast
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCapacityMatchesPaper(t *testing.T) {
+	// §3.1: C(24,6) enterprises before adding clouds.
+	if got := Capacity(NumClouds, DelegationSetSize).Int64(); got != 134596 {
+		t.Fatalf("C(24,6) = %d, want 134596", got)
+	}
+}
+
+func TestAssignUniqueAndStable(t *testing.T) {
+	a := NewAssigner(rand.New(rand.NewSource(1)))
+	seen := map[DelegationSet]bool{}
+	for i := 0; i < 2000; i++ {
+		ent := fmt.Sprintf("ent-%d", i)
+		ds, err := a.Assign(ent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[ds] {
+			t.Fatalf("duplicate delegation set %v", ds)
+		}
+		seen[ds] = true
+		// Sorted and distinct clouds.
+		for j := 1; j < DelegationSetSize; j++ {
+			if ds[j] <= ds[j-1] {
+				t.Fatalf("set not sorted/distinct: %v", ds)
+			}
+		}
+		for _, c := range ds {
+			if c < 0 || c >= NumClouds {
+				t.Fatalf("cloud out of range: %v", ds)
+			}
+		}
+		// Stable on re-assignment.
+		again, _ := a.Assign(ent)
+		if again != ds {
+			t.Fatalf("Assign not stable: %v then %v", ds, again)
+		}
+	}
+	if a.Assigned() != 2000 {
+		t.Fatalf("Assigned = %d", a.Assigned())
+	}
+}
+
+func TestAssignCollateralDamageProperty(t *testing.T) {
+	// §4.3.1: any two enterprises differ in at least one delegation.
+	a := NewAssigner(rand.New(rand.NewSource(2)))
+	var sets []DelegationSet
+	for i := 0; i < 300; i++ {
+		ds, err := a.Assign(fmt.Sprintf("e%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sets = append(sets, ds)
+	}
+	for i := range sets {
+		for j := i + 1; j < len(sets); j++ {
+			if sets[i].Overlap(sets[j]) >= DelegationSetSize {
+				t.Fatalf("enterprises %d and %d share all clouds", i, j)
+			}
+		}
+	}
+}
+
+func TestOverlapAndContains(t *testing.T) {
+	a := DelegationSet{0, 1, 2, 3, 4, 5}
+	b := DelegationSet{3, 4, 5, 6, 7, 8}
+	if got := a.Overlap(b); got != 3 {
+		t.Fatalf("Overlap = %d", got)
+	}
+	if !a.Contains(0) || a.Contains(9) {
+		t.Fatal("Contains wrong")
+	}
+	if len(a.Clouds()) != DelegationSetSize {
+		t.Fatal("Clouds length wrong")
+	}
+	if a.String() != "0,1,2,3,4,5" {
+		t.Fatalf("String = %q", a.String())
+	}
+}
+
+func TestPlaceInvariants(t *testing.T) {
+	for _, numPoPs := range []int{12, 50, 100, 267} {
+		pl, err := Place(numPoPs, rand.New(rand.NewSource(3)))
+		if err != nil {
+			t.Fatalf("Place(%d): %v", numPoPs, err)
+		}
+		// Every cloud must appear somewhere; with 2 clouds per PoP the
+		// expected replication is numPoPs*2/24.
+		min := numPoPs * MaxCloudsPerPoP / NumClouds / 2
+		if min < 1 {
+			min = 1
+		}
+		if err := pl.Validate(min); err != nil {
+			t.Fatalf("Place(%d): %v", numPoPs, err)
+		}
+	}
+}
+
+func TestPlaceTooFewPoPs(t *testing.T) {
+	if _, err := Place(5, rand.New(rand.NewSource(4))); err == nil {
+		t.Fatal("Place(5) succeeded")
+	}
+}
+
+func TestPlaceBalanced(t *testing.T) {
+	pl, err := Place(240, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 240 PoPs * 2 slots / 24 clouds = 20 PoPs per cloud on average.
+	for c := CloudID(0); c < NumClouds; c++ {
+		n := len(pl.CloudPoPs[c])
+		if n < 10 || n > 30 {
+			t.Fatalf("cloud %d advertised from %d PoPs, want ~20", c, n)
+		}
+	}
+}
+
+func TestCloudIdentifiers(t *testing.T) {
+	if CloudID(3).Prefix() != "anycast-03" {
+		t.Fatalf("Prefix = %s", CloudID(3).Prefix())
+	}
+	if CloudID(3).NSName() != "a3.ns.akamaidns.test." {
+		t.Fatalf("NSName = %s", CloudID(3).NSName())
+	}
+	// All prefixes distinct.
+	seen := map[string]bool{}
+	for c := CloudID(0); c < NumClouds; c++ {
+		p := string(c.Prefix())
+		if seen[p] {
+			t.Fatalf("duplicate prefix %s", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestPropertyAssignedSetsValid(t *testing.T) {
+	f := func(seed int64) bool {
+		a := NewAssigner(rand.New(rand.NewSource(seed)))
+		ds, err := a.Assign("x")
+		if err != nil {
+			return false
+		}
+		seen := map[CloudID]bool{}
+		for _, c := range ds {
+			if c < 0 || c >= NumClouds || seen[c] {
+				return false
+			}
+			seen[c] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

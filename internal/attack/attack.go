@@ -1,0 +1,153 @@
+// Package attack implements §4.3.4's attack taxonomy — generators for each
+// of the five classes (volumetric, direct query, random subdomain, spoofed
+// source IP, spoofed source IP + IP TTL) plus the query-of-death — and the
+// §4.3.2 anycast traffic-engineering decision tree of Figure 9.
+package attack
+
+import (
+	"fmt"
+	"math/rand"
+
+	"akamaidns/internal/dnswire"
+)
+
+// Class enumerates the taxonomy in the paper's order.
+type Class int
+
+// Attack classes (§4.3.4).
+const (
+	Volumetric Class = iota + 1
+	DirectQuery
+	RandomSubdomain
+	SpoofedIP
+	SpoofedIPTTL
+	QueryOfDeath
+)
+
+func (c Class) String() string {
+	switch c {
+	case Volumetric:
+		return "volumetric"
+	case DirectQuery:
+		return "direct-query"
+	case RandomSubdomain:
+		return "random-subdomain"
+	case SpoofedIP:
+		return "spoofed-ip"
+	case SpoofedIPTTL:
+		return "spoofed-ip-ttl"
+	case QueryOfDeath:
+		return "query-of-death"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Event is one generated attack query.
+type Event struct {
+	Class Class
+	// Resolver is the (possibly spoofed) source key.
+	Resolver string
+	// IPTTL is the TTL the packet arrives with.
+	IPTTL int
+	Msg   *dnswire.Message
+	// IsDNS is false for volumetric junk that firewalls drop before the
+	// application (reflection floods etc.).
+	IsDNS bool
+}
+
+// Victim describes the impersonated resolver population for spoofing
+// attacks.
+type Victim struct {
+	Resolver string
+	IPTTL    int // the TTL the real resolver's packets arrive with
+}
+
+// Generator produces a stream of attack events.
+type Generator struct {
+	Class Class
+	// Zone is the target zone for query-bearing attacks.
+	Zone dnswire.Name
+	// Sources is the bot population size for direct attacks.
+	Sources int
+	// Victims are impersonated for SpoofedIP/SpoofedIPTTL.
+	Victims []Victim
+	rng     *rand.Rand
+	seq     uint64
+}
+
+// NewGenerator builds a generator.
+func NewGenerator(class Class, zone dnswire.Name, sources int, victims []Victim, rng *rand.Rand) *Generator {
+	if sources < 1 {
+		sources = 1
+	}
+	return &Generator{Class: class, Zone: zone, Sources: sources, Victims: victims, rng: rng}
+}
+
+// Next produces the next attack event.
+func (g *Generator) Next() Event {
+	g.seq++
+	switch g.Class {
+	case Volumetric:
+		// Not DNS at all: reflection/junk saturating links. Easy to
+		// firewall; the application never sees it.
+		return Event{Class: g.Class, Resolver: g.botAddr(), IPTTL: 10 + g.rng.Intn(40), IsDNS: false}
+	case DirectQuery:
+		// Repeated queries for existing names from a bot population.
+		q := dnswire.NewQuery(uint16(g.seq), mustSub("www", g.Zone), dnswire.TypeA)
+		return Event{Class: g.Class, Resolver: g.botAddr(), IPTTL: 10 + g.rng.Intn(40), Msg: q, IsDNS: true}
+	case RandomSubdomain:
+		// Random labels "pass through" resolvers: the source looks like a
+		// legitimate (often allowlisted) resolver.
+		label := fmt.Sprintf("a%08x%08x", g.rng.Uint32(), g.rng.Uint32())
+		q := dnswire.NewQuery(uint16(g.seq), mustSub(label, g.Zone), dnswire.TypeA)
+		src := g.botAddr()
+		ttl := 10 + g.rng.Intn(40)
+		if len(g.Victims) > 0 {
+			v := g.Victims[g.rng.Intn(len(g.Victims))]
+			src, ttl = v.Resolver, v.IPTTL // arrives via the real resolver
+		}
+		return Event{Class: g.Class, Resolver: src, IPTTL: ttl, Msg: q, IsDNS: true}
+	case SpoofedIP:
+		// Impersonates known resolvers but from the attacker's own
+		// topological location: the IP TTL does not match.
+		v := g.victim()
+		q := dnswire.NewQuery(uint16(g.seq), mustSub("www", g.Zone), dnswire.TypeA)
+		wrongTTL := v.IPTTL + 5 + g.rng.Intn(20)
+		if g.rng.Intn(2) == 0 {
+			wrongTTL = v.IPTTL - 5 - g.rng.Intn(20)
+		}
+		return Event{Class: g.Class, Resolver: v.Resolver, IPTTL: wrongTTL, Msg: q, IsDNS: true}
+	case SpoofedIPTTL:
+		// The hypothesized stronger attacker: spoofs address AND TTL. Only
+		// the loyalty filter (being routed to the same PoP) catches it.
+		v := g.victim()
+		q := dnswire.NewQuery(uint16(g.seq), mustSub("www", g.Zone), dnswire.TypeA)
+		return Event{Class: g.Class, Resolver: v.Resolver, IPTTL: v.IPTTL, Msg: q, IsDNS: true}
+	case QueryOfDeath:
+		label := fmt.Sprintf("x%s%d", dnswire.QoDMarkerLabel, g.seq%3)
+		q := dnswire.NewQuery(uint16(g.seq), mustSub(label, g.Zone), dnswire.TypeA)
+		return Event{Class: g.Class, Resolver: g.botAddr(), IPTTL: 10 + g.rng.Intn(40), Msg: q, IsDNS: true}
+	default:
+		panic("attack: unknown class")
+	}
+}
+
+func (g *Generator) botAddr() string {
+	return fmt.Sprintf("bot-%d", g.rng.Intn(g.Sources))
+}
+
+func (g *Generator) victim() Victim {
+	if len(g.Victims) == 0 {
+		return Victim{Resolver: g.botAddr(), IPTTL: 32}
+	}
+	return g.Victims[g.rng.Intn(len(g.Victims))]
+}
+
+func mustSub(label string, zone dnswire.Name) dnswire.Name {
+	n, err := zone.Prepend(label)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}

@@ -1,0 +1,227 @@
+package attack
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"akamaidns/internal/dnswire"
+	"akamaidns/internal/filters"
+	"akamaidns/internal/simtime"
+)
+
+func zoneName() dnswire.Name { return dnswire.MustName("victim.test") }
+
+func gen(t *testing.T, c Class, victims []Victim) *Generator {
+	t.Helper()
+	return NewGenerator(c, zoneName(), 100, victims, rand.New(rand.NewSource(1)))
+}
+
+func TestVolumetricIsNotDNS(t *testing.T) {
+	g := gen(t, Volumetric, nil)
+	for i := 0; i < 100; i++ {
+		ev := g.Next()
+		if ev.IsDNS || ev.Msg != nil {
+			t.Fatal("volumetric event carried DNS")
+		}
+	}
+}
+
+func TestDirectQueryTargetsZone(t *testing.T) {
+	g := gen(t, DirectQuery, nil)
+	sources := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		ev := g.Next()
+		if !ev.IsDNS {
+			t.Fatal("direct query not DNS")
+		}
+		if !ev.Msg.Questions[0].Name.IsSubdomainOf(zoneName()) {
+			t.Fatal("query outside target zone")
+		}
+		sources[ev.Resolver] = true
+	}
+	if len(sources) < 50 {
+		t.Fatalf("bot diversity = %d", len(sources))
+	}
+}
+
+func TestRandomSubdomainUniqueNames(t *testing.T) {
+	victims := []Victim{{Resolver: "goodres", IPTTL: 55}}
+	g := gen(t, RandomSubdomain, victims)
+	names := map[dnswire.Name]bool{}
+	for i := 0; i < 1000; i++ {
+		ev := g.Next()
+		names[ev.Msg.Questions[0].Name] = true
+		// Passes through the legitimate resolver.
+		if ev.Resolver != "goodres" || ev.IPTTL != 55 {
+			t.Fatal("random-subdomain did not pass through the victim resolver")
+		}
+	}
+	if len(names) < 990 {
+		t.Fatalf("only %d unique names in 1000", len(names))
+	}
+}
+
+func TestSpoofedIPWrongTTL(t *testing.T) {
+	victims := []Victim{{Resolver: "goodres", IPTTL: 55}}
+	g := gen(t, SpoofedIP, victims)
+	for i := 0; i < 200; i++ {
+		ev := g.Next()
+		if ev.Resolver != "goodres" {
+			t.Fatal("spoof missed victim")
+		}
+		d := ev.IPTTL - 55
+		if d < 0 {
+			d = -d
+		}
+		if d < 5 {
+			t.Fatalf("spoofed TTL too close: %d", ev.IPTTL)
+		}
+	}
+}
+
+func TestSpoofedIPTTLMatchesVictim(t *testing.T) {
+	victims := []Victim{{Resolver: "goodres", IPTTL: 55}}
+	g := gen(t, SpoofedIPTTL, victims)
+	ev := g.Next()
+	if ev.Resolver != "goodres" || ev.IPTTL != 55 {
+		t.Fatalf("hypothesized attacker failed to match: %+v", ev)
+	}
+}
+
+func TestQoDCarriesMarker(t *testing.T) {
+	g := gen(t, QueryOfDeath, nil)
+	ev := g.Next()
+	if !strings.Contains(ev.Msg.Questions[0].Name.String(), dnswire.QoDMarkerLabel) {
+		t.Fatal("QoD marker missing")
+	}
+}
+
+// Filter-vs-attack matrix: each attack class is caught by the filter the
+// paper pairs it with.
+func TestFilterEffectivenessMatrix(t *testing.T) {
+	victims := []Victim{{Resolver: "goodres", IPTTL: 55}}
+	now := simtime.Time(simtime.Hour)
+
+	rl := filters.NewRateLimit()
+	rl.Learn("goodres", 1000)
+	al := filters.NewAllowlist()
+	al.Add("goodres")
+	al.SetActive(true)
+	hc := filters.NewHopCount()
+	hc.Learn("goodres", 55)
+	hc.SetActive(true)
+	lo := filters.NewLoyalty()
+	lo.Observe("goodres", now)
+	lo.SetActive(true)
+
+	toQuery := func(ev Event) *filters.Query {
+		return &filters.Query{
+			Resolver: ev.Resolver,
+			Name:     ev.Msg.Questions[0].Name,
+			Type:     dnswire.TypeA,
+			IPTTL:    ev.IPTTL,
+			Now:      now,
+		}
+	}
+
+	// Direct query from bots: allowlist catches it (rate limiter would too
+	// after buckets fill).
+	g := gen(t, DirectQuery, victims)
+	caught := 0
+	for i := 0; i < 100; i++ {
+		if al.Score(toQuery(g.Next())) > 0 {
+			caught++
+		}
+	}
+	if caught != 100 {
+		t.Fatalf("allowlist caught %d/100 direct queries", caught)
+	}
+
+	// Spoofed IP: allowlist passes (the source is allowlisted!) but
+	// hopcount catches the TTL mismatch.
+	g = gen(t, SpoofedIP, victims)
+	alMiss, hcCatch := 0, 0
+	for i := 0; i < 100; i++ {
+		ev := g.Next()
+		if al.Score(toQuery(ev)) > 0 {
+			alMiss++
+		}
+		if hc.Score(toQuery(ev)) > 0 {
+			hcCatch++
+		}
+	}
+	if alMiss != 0 {
+		t.Fatalf("allowlist wrongly caught %d spoofed-IP queries", alMiss)
+	}
+	if hcCatch != 100 {
+		t.Fatalf("hopcount caught %d/100 spoofed-IP queries", hcCatch)
+	}
+
+	// Spoofed IP+TTL: hopcount passes; loyalty at a *different* PoP's
+	// nameserver (which never saw the victim) catches it.
+	g = gen(t, SpoofedIPTTL, victims)
+	loOther := filters.NewLoyalty() // the PoP the attacker is routed to
+	loOther.SetActive(true)
+	hcMiss, loCatch, loHomeCatch := 0, 0, 0
+	for i := 0; i < 100; i++ {
+		ev := g.Next()
+		if hc.Score(toQuery(ev)) > 0 {
+			hcMiss++
+		}
+		if loOther.Score(toQuery(ev)) > 0 {
+			loCatch++
+		}
+		if lo.Score(toQuery(ev)) > 0 {
+			loHomeCatch++
+		}
+	}
+	if hcMiss != 0 {
+		t.Fatalf("hopcount caught %d perfect spoofs (should pass)", hcMiss)
+	}
+	if loCatch != 100 {
+		t.Fatalf("foreign-PoP loyalty caught %d/100", loCatch)
+	}
+	if loHomeCatch != 0 {
+		t.Fatalf("home-PoP loyalty wrongly caught %d (attacker routed there wins)", loHomeCatch)
+	}
+}
+
+func TestDecisionTree(t *testing.T) {
+	cases := []struct {
+		s    Situation
+		want Action
+	}{
+		// Resolvers fine -> absorb, whatever else is burning.
+		{Situation{}, DoNothing},
+		{Situation{PeeringCongested: true, ComputeSaturated: true}, DoNothing},
+		// DoSed but nothing saturated here -> upstream, work with peers.
+		{Situation{ResolversDoSed: true}, WorkWithPeers},
+		// Compute saturated -> disperse by withdrawing a fraction.
+		{Situation{ResolversDoSed: true, ComputeSaturated: true}, WithdrawFractionSourcing},
+		// Link congested, can spread -> withdraw all sourcing links.
+		{Situation{ResolversDoSed: true, PeeringCongested: true, CanSpreadAttack: true}, WithdrawAllSourcing},
+		// Link congested, cannot spread -> move legit traffic away.
+		{Situation{ResolversDoSed: true, PeeringCongested: true}, WithdrawAllNonSourcing},
+		// Link congestion takes precedence over compute saturation.
+		{Situation{ResolversDoSed: true, PeeringCongested: true, ComputeSaturated: true}, WithdrawAllNonSourcing},
+	}
+	for i, c := range cases {
+		if got := Decide(c.s); got != c.want {
+			t.Errorf("case %d: Decide(%+v) = %v, want %v", i, c.s, got, c.want)
+		}
+	}
+}
+
+func TestActionStrings(t *testing.T) {
+	for a := DoNothing; a <= WithdrawAllNonSourcing; a++ {
+		if a.String() == "unknown action" {
+			t.Fatalf("action %d has no name", a)
+		}
+	}
+	for c := Volumetric; c <= QueryOfDeath; c++ {
+		if strings.HasPrefix(c.String(), "Class(") {
+			t.Fatalf("class %d has no name", c)
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package attack
+
+// This file implements what §4.3.2 names as future work: "Automated
+// mechanisms to perform traffic engineering and share information between
+// network peers are important areas for future work." The Controller
+// watches per-PoP observations, walks the Figure 9 decision tree each tick,
+// and drives an Actuator — with the safeguards the paper's operators apply
+// by hand: a dwell time between actions (actions leak information to the
+// attacker and disturb history-based filters), conservative defaults
+// ("the preferred action is always do nothing"), and automatic restore once
+// the attack subsides.
+
+import (
+	"fmt"
+	"sort"
+
+	"akamaidns/internal/simtime"
+)
+
+// Observation is one PoP's state at a tick, assembled from internal
+// telemetry and external monitoring / peer information sharing.
+type Observation struct {
+	PoP string
+	// ComputeUtilization is nameserver compute load, 0..1+.
+	ComputeUtilization float64
+	// LinkUtilization is per-peering-link bandwidth load, 0..1+.
+	LinkUtilization map[string]float64
+	// AttackSources flags the links currently sourcing attack traffic.
+	AttackSources map[string]bool
+	// ResolverLossRate is external monitoring's estimate of real resolvers
+	// failing to get answers through this PoP, 0..1.
+	ResolverLossRate float64
+	// CanSpreadAttack: withdrawing the sourcing links would shift the
+	// attack to links/PoPs that can absorb it (peer-shared knowledge).
+	CanSpreadAttack bool
+}
+
+// Actuator applies link-level advertisement changes at a PoP.
+type Actuator interface {
+	// WithdrawLink stops advertising the anycast prefixes over one peering
+	// link of the PoP.
+	WithdrawLink(pop, link string)
+	// RestoreLink resumes advertising.
+	RestoreLink(pop, link string)
+}
+
+// ActionRecord logs one controller decision.
+type ActionRecord struct {
+	At     simtime.Time
+	PoP    string
+	Action Action
+	Links  []string
+}
+
+func (a ActionRecord) String() string {
+	return fmt.Sprintf("%v %s %s %v", a.At, a.PoP, a.Action, a.Links)
+}
+
+// ControllerConfig tunes the automation.
+type ControllerConfig struct {
+	// SaturationThreshold marks compute or a link saturated.
+	SaturationThreshold float64
+	// LossThreshold marks resolvers as DoSed.
+	LossThreshold float64
+	// Dwell is the minimum virtual time between actions at one PoP.
+	Dwell simtime.Time
+	// RevertAfter restores withdrawn links once loss has stayed below
+	// LossThreshold for this long.
+	RevertAfter simtime.Time
+	// WithdrawFraction is the share of attack-sourcing links withdrawn by
+	// action III.
+	WithdrawFraction float64
+}
+
+// DefaultControllerConfig is conservative, as the paper prescribes.
+func DefaultControllerConfig() ControllerConfig {
+	return ControllerConfig{
+		SaturationThreshold: 0.9,
+		LossThreshold:       0.05,
+		Dwell:               30 * simtime.Second,
+		RevertAfter:         2 * simtime.Minute,
+		WithdrawFraction:    0.5,
+	}
+}
+
+// Controller is the automated traffic-engineering loop.
+type Controller struct {
+	Cfg ControllerConfig
+	act Actuator
+	// per-PoP state.
+	pops map[string]*popTE
+	// Log records every action taken.
+	Log []ActionRecord
+}
+
+type popTE struct {
+	lastAction simtime.Time
+	calmSince  simtime.Time
+	withdrawn  map[string]bool
+	hasActed   bool
+}
+
+// NewController builds a controller over an actuator.
+func NewController(cfg ControllerConfig, act Actuator) *Controller {
+	return &Controller{Cfg: cfg, act: act, pops: make(map[string]*popTE)}
+}
+
+// Withdrawn reports the links currently withdrawn at a PoP.
+func (c *Controller) Withdrawn(pop string) []string {
+	st := c.pops[pop]
+	if st == nil {
+		return nil
+	}
+	out := make([]string, 0, len(st.withdrawn))
+	for l := range st.withdrawn {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Tick evaluates one round of observations and applies actions.
+func (c *Controller) Tick(now simtime.Time, obs []Observation) []ActionRecord {
+	var acted []ActionRecord
+	for _, o := range obs {
+		st := c.pops[o.PoP]
+		if st == nil {
+			st = &popTE{withdrawn: make(map[string]bool), calmSince: now}
+			c.pops[o.PoP] = st
+		}
+		rec := c.evaluate(now, o, st)
+		if rec != nil {
+			c.Log = append(c.Log, *rec)
+			acted = append(acted, *rec)
+		}
+	}
+	return acted
+}
+
+func (c *Controller) evaluate(now simtime.Time, o Observation, st *popTE) *ActionRecord {
+	dosed := o.ResolverLossRate >= c.Cfg.LossThreshold
+	if !dosed {
+		// Calm: consider restoring withdrawn links after RevertAfter.
+		if len(st.withdrawn) > 0 && now.Sub(st.calmSince) >= c.Cfg.RevertAfter.Duration() {
+			links := keys(st.withdrawn)
+			for _, l := range links {
+				c.act.RestoreLink(o.PoP, l)
+				delete(st.withdrawn, l)
+			}
+			st.lastAction = now
+			return &ActionRecord{At: now, PoP: o.PoP, Action: DoNothing, Links: links}
+		}
+		return nil
+	}
+	st.calmSince = now // loss ongoing; reset calm clock
+	// Dwell: no reaction churn.
+	if st.hasActed && now.Sub(st.lastAction) < c.Cfg.Dwell.Duration() {
+		return nil
+	}
+	linkCongested := false
+	for _, u := range o.LinkUtilization {
+		if u >= c.Cfg.SaturationThreshold {
+			linkCongested = true
+			break
+		}
+	}
+	situation := Situation{
+		ResolversDoSed:   true,
+		PeeringCongested: linkCongested,
+		ComputeSaturated: o.ComputeUtilization >= c.Cfg.SaturationThreshold,
+		CanSpreadAttack:  o.CanSpreadAttack,
+	}
+	action := Decide(situation)
+	var links []string
+	switch action {
+	case WithdrawFractionSourcing:
+		// Escalate across ticks: each action withdraws the configured
+		// fraction of the attack-sourcing links still advertised.
+		var src []string
+		for _, l := range sortedWhere(o.AttackSources, true) {
+			if !st.withdrawn[l] {
+				src = append(src, l)
+			}
+		}
+		n := int(float64(len(src))*c.Cfg.WithdrawFraction + 0.5)
+		if n < 1 && len(src) > 0 {
+			n = 1
+		}
+		links = src[:n]
+	case WithdrawAllSourcing:
+		links = sortedWhere(o.AttackSources, true)
+	case WithdrawAllNonSourcing:
+		for l := range o.LinkUtilization {
+			if !o.AttackSources[l] {
+				links = append(links, l)
+			}
+		}
+		sort.Strings(links)
+	case WorkWithPeers, DoNothing:
+		// Advisory only; nothing to actuate.
+	}
+	applied := links[:0]
+	for _, l := range links {
+		if !st.withdrawn[l] {
+			c.act.WithdrawLink(o.PoP, l)
+			st.withdrawn[l] = true
+			applied = append(applied, l)
+		}
+	}
+	st.lastAction = now
+	st.hasActed = true
+	return &ActionRecord{At: now, PoP: o.PoP, Action: action, Links: applied}
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedWhere(m map[string]bool, want bool) []string {
+	var out []string
+	for k, v := range m {
+		if v == want {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,188 @@
+package attack
+
+import (
+	"testing"
+
+	"akamaidns/internal/simtime"
+)
+
+// fakeActuator records link operations.
+type fakeActuator struct {
+	withdrawn map[string]bool
+	ops       []string
+}
+
+func newFakeActuator() *fakeActuator {
+	return &fakeActuator{withdrawn: map[string]bool{}}
+}
+func (f *fakeActuator) WithdrawLink(pop, link string) {
+	f.withdrawn[pop+"/"+link] = true
+	f.ops = append(f.ops, "withdraw:"+pop+"/"+link)
+}
+func (f *fakeActuator) RestoreLink(pop, link string) {
+	delete(f.withdrawn, pop+"/"+link)
+	f.ops = append(f.ops, "restore:"+pop+"/"+link)
+}
+
+func calmObs() Observation {
+	return Observation{
+		PoP:                "pop1",
+		ComputeUtilization: 0.3,
+		LinkUtilization:    map[string]float64{"peerA": 0.4, "peerB": 0.3, "peerC": 0.2, "peerD": 0.2},
+		AttackSources:      map[string]bool{},
+		ResolverLossRate:   0,
+	}
+}
+
+func TestControllerDoesNothingWhenCalm(t *testing.T) {
+	act := newFakeActuator()
+	c := NewController(DefaultControllerConfig(), act)
+	for i := 0; i < 10; i++ {
+		recs := c.Tick(simtime.Time(i)*simtime.Second, []Observation{calmObs()})
+		if len(recs) != 0 {
+			t.Fatalf("calm tick acted: %v", recs)
+		}
+	}
+	if len(act.ops) != 0 {
+		t.Fatalf("ops = %v", act.ops)
+	}
+}
+
+func TestControllerAbsorbsWhenResolversFine(t *testing.T) {
+	// Compute saturated but resolvers unaffected: the preferred action is
+	// always do nothing (§4.3.2 action I).
+	act := newFakeActuator()
+	c := NewController(DefaultControllerConfig(), act)
+	o := calmObs()
+	o.ComputeUtilization = 0.99
+	o.LinkUtilization["peerA"] = 0.99
+	c.Tick(simtime.Second, []Observation{o})
+	if len(act.ops) != 0 {
+		t.Fatalf("acted while resolvers fine: %v", act.ops)
+	}
+}
+
+func TestControllerActionIII(t *testing.T) {
+	// Compute saturated + resolvers DoSed: withdraw a fraction of
+	// attack-sourcing links.
+	act := newFakeActuator()
+	c := NewController(DefaultControllerConfig(), act)
+	o := calmObs()
+	o.ComputeUtilization = 0.95
+	o.ResolverLossRate = 0.2
+	o.AttackSources = map[string]bool{"peerA": true, "peerB": true, "peerC": false, "peerD": false}
+	recs := c.Tick(simtime.Second, []Observation{o})
+	if len(recs) != 1 || recs[0].Action != WithdrawFractionSourcing {
+		t.Fatalf("recs = %v", recs)
+	}
+	if len(recs[0].Links) != 1 { // 50% of 2 sourcing links
+		t.Fatalf("withdrew %v, want one of the two sourcing links", recs[0].Links)
+	}
+	if !act.withdrawn["pop1/"+recs[0].Links[0]] {
+		t.Fatal("actuator not driven")
+	}
+}
+
+func TestControllerActionIVAndV(t *testing.T) {
+	act := newFakeActuator()
+	c := NewController(DefaultControllerConfig(), act)
+	// Link congested, spreadable -> withdraw all sourcing links.
+	o := calmObs()
+	o.ResolverLossRate = 0.2
+	o.LinkUtilization["peerA"] = 0.97
+	o.AttackSources = map[string]bool{"peerA": true, "peerB": true}
+	o.CanSpreadAttack = true
+	recs := c.Tick(simtime.Second, []Observation{o})
+	if recs[0].Action != WithdrawAllSourcing || len(recs[0].Links) != 2 {
+		t.Fatalf("recs = %v", recs)
+	}
+	// Different PoP: cannot spread -> withdraw non-sourcing links.
+	o2 := calmObs()
+	o2.PoP = "pop2"
+	o2.ResolverLossRate = 0.2
+	o2.LinkUtilization["peerA"] = 0.97
+	o2.AttackSources = map[string]bool{"peerA": true}
+	recs2 := c.Tick(simtime.Second, []Observation{o2})
+	if recs2[0].Action != WithdrawAllNonSourcing {
+		t.Fatalf("recs2 = %v", recs2)
+	}
+	for _, l := range recs2[0].Links {
+		if o2.AttackSources[l] {
+			t.Fatalf("action V withdrew a sourcing link %s", l)
+		}
+	}
+}
+
+func TestControllerDwell(t *testing.T) {
+	act := newFakeActuator()
+	cfg := DefaultControllerConfig()
+	cfg.Dwell = 30 * simtime.Second
+	c := NewController(cfg, act)
+	o := calmObs()
+	o.ComputeUtilization = 0.95
+	o.ResolverLossRate = 0.2
+	o.AttackSources = map[string]bool{"peerA": true, "peerB": true, "peerC": true, "peerD": true}
+	c.Tick(simtime.Second, []Observation{o})
+	n := len(act.ops)
+	// Within the dwell window: no further action even though loss persists.
+	c.Tick(10*simtime.Second, []Observation{o})
+	if len(act.ops) != n {
+		t.Fatal("controller acted within dwell window")
+	}
+	// After the dwell: it may escalate (withdraw more sourcing links).
+	c.Tick(40*simtime.Second, []Observation{o})
+	if len(act.ops) == n {
+		t.Fatal("controller never escalated after dwell")
+	}
+}
+
+func TestControllerRevertsWhenCalm(t *testing.T) {
+	act := newFakeActuator()
+	cfg := DefaultControllerConfig()
+	cfg.RevertAfter = simtime.Minute
+	c := NewController(cfg, act)
+	o := calmObs()
+	o.ComputeUtilization = 0.95
+	o.ResolverLossRate = 0.2
+	o.AttackSources = map[string]bool{"peerA": true, "peerB": true}
+	c.Tick(simtime.Second, []Observation{o})
+	if len(c.Withdrawn("pop1")) == 0 {
+		t.Fatal("nothing withdrawn")
+	}
+	// Attack subsides; before RevertAfter nothing is restored.
+	calm := calmObs()
+	c.Tick(2*simtime.Second, []Observation{calm})
+	c.Tick(30*simtime.Second, []Observation{calm})
+	if len(c.Withdrawn("pop1")) == 0 {
+		t.Fatal("restored too early")
+	}
+	// After RevertAfter of calm: restored.
+	c.Tick(70*simtime.Second, []Observation{calm})
+	if len(c.Withdrawn("pop1")) != 0 {
+		t.Fatalf("not restored: %v", c.Withdrawn("pop1"))
+	}
+	if len(act.withdrawn) != 0 {
+		t.Fatalf("actuator still withdrawn: %v", act.withdrawn)
+	}
+	// Log captured both phases.
+	if len(c.Log) < 2 {
+		t.Fatalf("log = %v", c.Log)
+	}
+}
+
+func TestControllerCalmClockResetsDuringLoss(t *testing.T) {
+	act := newFakeActuator()
+	cfg := DefaultControllerConfig()
+	cfg.RevertAfter = simtime.Minute
+	c := NewController(cfg, act)
+	o := calmObs()
+	o.ComputeUtilization = 0.95
+	o.ResolverLossRate = 0.2
+	o.AttackSources = map[string]bool{"peerA": true, "peerB": true}
+	c.Tick(simtime.Second, []Observation{o})
+	// Loss persists past RevertAfter: nothing restored.
+	c.Tick(2*simtime.Minute, []Observation{o})
+	if len(c.Withdrawn("pop1")) == 0 {
+		t.Fatal("restored during ongoing attack")
+	}
+}

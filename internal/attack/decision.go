@@ -1,0 +1,77 @@
+package attack
+
+// This file implements the anycast traffic-engineering decision tree of
+// Figure 9 (§4.3.2). The tree is evaluated by a human operator in
+// production; here it is code so the experiments can replay attack
+// scenarios against it and the examples can explain each action.
+
+// Situation is the operator's view during an attack, assembled from
+// external monitoring and information sharing with peers.
+type Situation struct {
+	// ResolversDoSed: are real resolvers failing to get answers? (Packet
+	// loss on all delegations of some zone.)
+	ResolversDoSed bool
+	// PeeringCongested: is any peering link saturated (bandwidth)?
+	PeeringCongested bool
+	// ComputeSaturated: is nameserver compute saturated?
+	ComputeSaturated bool
+	// CanSpreadAttack: would withdrawing attack-sourcing links shift the
+	// attack onto links/PoPs that can absorb it?
+	CanSpreadAttack bool
+}
+
+// Action is the operator response chosen by the tree.
+type Action int
+
+// Actions I–V of Figure 9.
+const (
+	// DoNothing — absorb the attack; any active reaction leaks information
+	// to the attacker and disturbs history-based filters.
+	DoNothing Action = iota + 1
+	// WorkWithPeers — neither resource is saturated here: congestion is
+	// upstream; coordinate with peers to locate and mitigate.
+	WorkWithPeers
+	// WithdrawFractionSourcing — compute saturated: withdraw from a
+	// fraction of attack-sourcing peering links to disperse the attack.
+	WithdrawFractionSourcing
+	// WithdrawAllSourcing — a peering link is congested and the attack can
+	// spread: withdraw from all links sourcing attack traffic.
+	WithdrawAllSourcing
+	// WithdrawAllNonSourcing — the attack cannot spread: minimize
+	// collateral damage by moving legitimate traffic off the saturated PoP.
+	WithdrawAllNonSourcing
+)
+
+func (a Action) String() string {
+	switch a {
+	case DoNothing:
+		return "I: do nothing"
+	case WorkWithPeers:
+		return "II: work with peers"
+	case WithdrawFractionSourcing:
+		return "III: withdraw from fraction of links sourcing attack"
+	case WithdrawAllSourcing:
+		return "IV: withdraw from all links sourcing attack"
+	case WithdrawAllNonSourcing:
+		return "V: withdraw from all links not sourcing attack"
+	default:
+		return "unknown action"
+	}
+}
+
+// Decide walks the Figure 9 tree.
+func Decide(s Situation) Action {
+	if !s.ResolversDoSed {
+		return DoNothing
+	}
+	if s.PeeringCongested {
+		if s.CanSpreadAttack {
+			return WithdrawAllSourcing
+		}
+		return WithdrawAllNonSourcing
+	}
+	if s.ComputeSaturated {
+		return WithdrawFractionSourcing
+	}
+	return WorkWithPeers
+}

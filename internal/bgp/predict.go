@@ -1,0 +1,84 @@
+package bgp
+
+// This file addresses the research direction §5.1/§7 call out: "methods for
+// predicting anycast routing ... would greatly advance anycast performance".
+// PredictCatchment estimates each node's anycast catchment from the peering
+// graph alone — no routing state — using the shortest-AS-hop heuristic that
+// catchment-inference studies build on. EvaluatePrediction scores it
+// against the ground truth of converged FIBs, quantifying how far topology
+// alone goes (ties, MED, and policy make BGP diverge from pure hop counts).
+
+import (
+	"sort"
+
+	"akamaidns/internal/netsim"
+)
+
+// PredictCatchment returns, per node, the predicted origin among `origins`
+// by BFS hop distance over the BGP session graph; ties break toward the
+// lowest origin node ID (mirroring the decision process's deterministic
+// tie-break). Nodes with no path to any origin are omitted.
+func (w *World) PredictCatchment(origins []netsim.NodeID) map[netsim.NodeID]netsim.NodeID {
+	// Multi-source BFS, tracking per node the best (dist, origin).
+	type label struct {
+		dist   int
+		origin netsim.NodeID
+	}
+	best := make(map[netsim.NodeID]label)
+	queue := make([]netsim.NodeID, 0, len(origins))
+	sorted := append([]netsim.NodeID(nil), origins...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, o := range sorted {
+		if _, ok := w.speakers[o]; !ok {
+			continue
+		}
+		if _, seen := best[o]; !seen {
+			best[o] = label{0, o}
+			queue = append(queue, o)
+		}
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		lb := best[cur]
+		sp := w.speakers[cur]
+		for _, peer := range sp.peerIDs() {
+			ps := sp.peers[peer]
+			if !ps.up {
+				continue
+			}
+			cand := label{lb.dist + 1, lb.origin}
+			prev, seen := best[peer]
+			if !seen || cand.dist < prev.dist ||
+				(cand.dist == prev.dist && cand.origin < prev.origin) {
+				if !seen || cand.dist < prev.dist {
+					queue = append(queue, peer)
+				}
+				best[peer] = cand
+			}
+		}
+	}
+	out := make(map[netsim.NodeID]netsim.NodeID, len(best))
+	for id, lb := range best {
+		out[id] = lb.origin
+	}
+	return out
+}
+
+// EvaluatePrediction compares a prediction against the converged FIB
+// catchment for prefix, returning (correct, evaluated): nodes present in
+// both maps, and how many match.
+func (w *World) EvaluatePrediction(prefix netsim.Prefix, predicted map[netsim.NodeID]netsim.NodeID) (correct, evaluated int) {
+	actual := w.Catchment(prefix)
+	for id, act := range actual {
+		pred, ok := predicted[id]
+		if !ok {
+			continue
+		}
+		evaluated++
+		if pred == act {
+			correct++
+		}
+	}
+	return correct, evaluated
+}

@@ -1,0 +1,103 @@
+package bgp
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"akamaidns/internal/netsim"
+	"akamaidns/internal/simtime"
+)
+
+func TestPredictCatchmentLine(t *testing.T) {
+	// A(origin) - B - C - D(origin): prediction must match the actual
+	// catchment exactly on a symmetric line.
+	sched := simtime.NewScheduler()
+	net := netsim.New(sched)
+	w := NewWorld(net, DefaultConfig(), rand.New(rand.NewSource(1)))
+	var sp []*Speaker
+	var prev *netsim.Node
+	for i, name := range []string{"a", "b", "c", "d"} {
+		nd := net.AddNode(name, netsim.GeoPoint{Lat: float64(i)})
+		s := w.AddSpeaker(nd, ASN(500+i))
+		sp = append(sp, s)
+		if prev != nil {
+			net.ConnectDelay(prev, nd, time.Millisecond)
+			w.Peer(w.Speaker(prev.ID), s, nil, nil)
+		}
+		prev = nd
+	}
+	origins := []netsim.NodeID{sp[0].Node().ID, sp[3].Node().ID}
+	sp[0].Originate(pfx, 0)
+	sp[3].Originate(pfx, 0)
+	sched.RunFor(2 * time.Second)
+	pred := w.PredictCatchment(origins)
+	correct, evaluated := w.EvaluatePrediction(pfx, pred)
+	if evaluated != 4 {
+		t.Fatalf("evaluated %d nodes", evaluated)
+	}
+	if correct != 4 {
+		t.Fatalf("line prediction %d/4 correct", correct)
+	}
+}
+
+func TestPredictCatchmentGeneratedTopology(t *testing.T) {
+	// On a realistic random topology, hop-count prediction is good but not
+	// perfect — exactly the gap the paper's future-work direction targets.
+	sched := simtime.NewScheduler()
+	net := netsim.New(sched)
+	rng := rand.New(rand.NewSource(11))
+	topo := netsim.GenTopology(net, netsim.DefaultRegions(), rng)
+	w := NewWorld(net, DefaultConfig(), rng)
+	for i, nd := range topo.Core {
+		w.AddSpeaker(nd, ASN(2000+i))
+	}
+	for _, nd := range topo.Core {
+		for _, nb := range nd.Neighbors() {
+			if nb > nd.ID {
+				w.Peer(w.Speaker(nd.ID), w.Speaker(nb), nil, nil)
+			}
+		}
+	}
+	// Three anycast origins spread across regions.
+	origins := []netsim.NodeID{
+		topo.ByRgn["na"][0].ID, topo.ByRgn["eu"][0].ID, topo.ByRgn["as"][0].ID,
+	}
+	for _, o := range origins {
+		w.Speaker(o).Originate(pfx, 0)
+	}
+	sched.RunFor(2 * time.Minute)
+	pred := w.PredictCatchment(origins)
+	correct, evaluated := w.EvaluatePrediction(pfx, pred)
+	if evaluated < len(topo.Core) {
+		t.Fatalf("evaluated %d/%d", evaluated, len(topo.Core))
+	}
+	acc := float64(correct) / float64(evaluated)
+	if acc < 0.6 {
+		t.Fatalf("prediction accuracy %.2f too low for hop-count heuristic", acc)
+	}
+	t.Logf("catchment prediction accuracy: %.2f (%d/%d)", acc, correct, evaluated)
+}
+
+func TestPredictCatchmentSkipsDownSessions(t *testing.T) {
+	w, sp := buildLine(t)
+	origins := []netsim.NodeID{sp[0].Node().ID}
+	sp[0].Originate(pfx, 0)
+	w.Net.Sched.RunFor(time.Second)
+	// Session b-c down: prediction must not reach c through it.
+	sp[1].SessionDown(sp[2].Node().ID)
+	sp[2].SessionDown(sp[1].Node().ID)
+	pred := w.PredictCatchment(origins)
+	if _, ok := pred[sp[2].Node().ID]; ok {
+		t.Fatal("prediction crossed a down session")
+	}
+}
+
+func TestPredictCatchmentUnknownOrigin(t *testing.T) {
+	w, sp := buildLine(t)
+	pred := w.PredictCatchment([]netsim.NodeID{9999})
+	if len(pred) != 0 {
+		t.Fatalf("prediction from unknown origin: %v", pred)
+	}
+	_ = sp
+}

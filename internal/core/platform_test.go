@@ -1,0 +1,288 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"akamaidns/internal/anycast"
+	"akamaidns/internal/dnswire"
+	"akamaidns/internal/netsim"
+	"akamaidns/internal/pop"
+	"akamaidns/internal/resolver"
+	"akamaidns/internal/simtime"
+)
+
+const entZone = `
+$TTL 300
+@    IN SOA ns1.ex.test. host.ex.test. ( 2026070501 3600 600 604800 30 )
+www  IN A 192.0.2.80
+api  IN A 192.0.2.81
+*.app IN A 192.0.2.82
+`
+
+func newPlatform(t *testing.T, mut func(*Options)) *Platform {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.NumPoPs = 12
+	opts.MachinesPerPoP = 1
+	if mut != nil {
+		mut(&opts)
+	}
+	p, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Converge(time.Minute)
+	return p
+}
+
+func TestPlatformAssembly(t *testing.T) {
+	p := newPlatform(t, nil)
+	if len(p.PoPs) != 12 {
+		t.Fatalf("PoPs = %d", len(p.PoPs))
+	}
+	// Every cloud advertised from at least one PoP, and every PoP ≤ 2.
+	if err := p.Placement.Validate(1); err != nil {
+		t.Fatal(err)
+	}
+	// Input-delayed machines exist.
+	delayed := 0
+	for _, m := range p.Machines {
+		if m.Delayed() {
+			delayed++
+		}
+	}
+	if delayed == 0 {
+		t.Fatal("no input-delayed machines")
+	}
+	// All clouds reachable in the BGP world from a client.
+	c := p.AddClient("probe", "eu")
+	p.Converge(2 * time.Second)
+	for cl := anycast.CloudID(0); cl < anycast.NumClouds; cl++ {
+		catch := p.World.Catchment(cl.Prefix())
+		if len(catch) == 0 {
+			t.Fatalf("cloud %d unreachable", cl)
+		}
+	}
+	_ = c
+}
+
+func TestEndToEndEnterpriseQuery(t *testing.T) {
+	p := newPlatform(t, nil)
+	ent, err := p.AddEnterprise("ex", MustName("ex.test"), entZone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := p.AddClient("r1", "na")
+	p.Converge(2 * time.Second)
+	var got *pop.DNSResponse
+	c.Probe(ent.DelegationSet[0], MustName("www.ex.test"), dnswire.TypeA, 3*time.Second,
+		func(_ simtime.Time, resp *pop.DNSResponse) { got = resp })
+	p.Converge(5 * time.Second)
+	if got == nil {
+		t.Fatal("no response")
+	}
+	if got.Msg.RCode != dnswire.RCodeNoError || len(got.Msg.Answers) != 1 {
+		t.Fatalf("resp = %v", got.Msg)
+	}
+	if !got.Msg.Authoritative {
+		t.Fatal("answer not authoritative")
+	}
+}
+
+func TestEnterpriseUniqueDelegations(t *testing.T) {
+	p := newPlatform(t, nil)
+	seen := map[string]bool{}
+	for i := 0; i < 50; i++ {
+		ent, err := p.AddEnterprise(fmt.Sprintf("e%d", i), MustName(fmt.Sprintf("e%d.test", i)), entZone)
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := ent.DelegationSet.String()
+		if seen[key] {
+			t.Fatal("duplicate delegation set")
+		}
+		seen[key] = true
+	}
+}
+
+func TestEnterpriseZoneValidation(t *testing.T) {
+	p := newPlatform(t, nil)
+	if _, err := p.AddEnterprise("bad", MustName("bad.test"), "www IN A not-an-ip"); err == nil {
+		t.Fatal("portal accepted an invalid zone")
+	}
+	if _, err := p.AddEnterprise("nosoa", MustName("nosoa.test"), "www IN A 192.0.2.1"); err == nil {
+		t.Fatal("portal accepted a zone without SOA")
+	}
+}
+
+func TestFullResolverPathThroughPlatform(t *testing.T) {
+	p := newPlatform(t, nil)
+	ent, err := p.AddEnterprise("ex", MustName("ex.test"), entZone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := p.AddClient("r1", "eu")
+	p.Converge(2 * time.Second)
+	res := c.NewResolver(resolver.DefaultConfig("r1"), ent)
+	var got resolver.Result
+	done := false
+	res.Resolve(p.Sched.Now(), MustName("anything.app.ex.test"), dnswire.TypeA, func(r resolver.Result) {
+		got = r
+		done = true
+	})
+	p.Converge(10 * time.Second)
+	if !done {
+		t.Fatal("resolution incomplete")
+	}
+	if got.Err != nil || got.RCode != dnswire.RCodeNoError || len(got.Answers) == 0 {
+		t.Fatalf("res = %+v", got)
+	}
+}
+
+func TestDelegationSetSurvivesPoPLoss(t *testing.T) {
+	// §4.3.1: saturate/disable the PoPs of some clouds; the enterprise is
+	// still reachable via its other delegations.
+	p := newPlatform(t, nil)
+	ent, err := p.AddEnterprise("ex", MustName("ex.test"), entZone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := p.AddClient("r1", "as")
+	p.Converge(2 * time.Second)
+	// Kill ALL PoPs advertising the first two delegation clouds.
+	dead := map[string]bool{}
+	for _, cl := range ent.DelegationSet[:2] {
+		for _, pp := range p.PoPForCloud(cl) {
+			pp.WithdrawAll(p.Sched.Now())
+			dead[pp.Name] = true
+		}
+	}
+	p.Converge(30 * time.Second)
+	// The first cloud may now be dead entirely; the resolver behaviour is
+	// to retry other delegations (our Probe does one cloud at a time, so
+	// emulate the retry loop).
+	var answered *pop.DNSResponse
+	for _, cl := range ent.DelegationSet.Clouds() {
+		var got *pop.DNSResponse
+		c.Probe(cl, MustName("www.ex.test"), dnswire.TypeA, 2*time.Second,
+			func(_ simtime.Time, r *pop.DNSResponse) { got = r })
+		p.Converge(4 * time.Second)
+		if got != nil {
+			answered = got
+			break
+		}
+	}
+	if answered == nil {
+		t.Fatal("all delegations dead despite unique-set design")
+	}
+	if dead[answered.PoP] {
+		t.Fatalf("answer came from a dead PoP %s", answered.PoP)
+	}
+}
+
+func TestCDNTailoring(t *testing.T) {
+	p := newPlatform(t, nil)
+	p.SetupCDN()
+	p.AddEdge("edge-eu", netsim.GeoPoint{Lat: 50, Lon: 9}, 1)
+	p.AddEdge("edge-na", netsim.GeoPoint{Lat: 40, Lon: -95}, 1)
+	prop, err := p.AddCDNProperty("ex", "edge-eu", "edge-na")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cEU := p.AddClient("r-eu", "eu")
+	cNA := p.AddClient("r-na", "na")
+	p.Converge(2 * time.Second)
+	answers := map[string]string{}
+	for _, c := range []*Client{cEU, cNA} {
+		c := c
+		var got *pop.DNSResponse
+		c.Probe(anycast.CloudID(0), prop.Hostname, dnswire.TypeA, 3*time.Second,
+			func(_ simtime.Time, r *pop.DNSResponse) { got = r })
+		p.Converge(5 * time.Second)
+		if got == nil || len(got.Msg.Answers) == 0 {
+			t.Fatalf("%s: no CDN answer", c.Name)
+		}
+		a := got.Msg.Answers[0].(*dnswire.A)
+		if a.TTL != 20 {
+			t.Fatalf("CDN TTL = %d, want 20", a.TTL)
+		}
+		answers[c.Name] = a.Addr.String()
+	}
+	if answers["r-eu"] == answers["r-na"] {
+		t.Fatalf("EU and NA clients mapped to the same edge: %v", answers)
+	}
+	edgeEU, _ := p.Mapper.Edge("edge-eu")
+	if answers["r-eu"] != edgeEU.Addr.String() {
+		t.Fatalf("EU client mapped to %s, want edge-eu (%s)", answers["r-eu"], edgeEU.Addr)
+	}
+}
+
+func TestGTMLivenessFailover(t *testing.T) {
+	p := newPlatform(t, nil)
+	p.SetupCDN()
+	p.AddEdge("dc-primary", netsim.GeoPoint{Lat: 50, Lon: 9}, 1)
+	p.AddEdge("dc-backup", netsim.GeoPoint{Lat: 40, Lon: -95}, 1)
+	prop, _ := p.AddCDNProperty("gtm", "dc-primary", "dc-backup")
+	c := p.AddClient("r-eu", "eu")
+	p.Converge(2 * time.Second)
+	ask := func() string {
+		var got *pop.DNSResponse
+		c.Probe(anycast.CloudID(1), prop.Hostname, dnswire.TypeA, 3*time.Second,
+			func(_ simtime.Time, r *pop.DNSResponse) { got = r })
+		p.Converge(5 * time.Second)
+		if got == nil || len(got.Msg.Answers) == 0 {
+			t.Fatal("no GTM answer")
+		}
+		return got.Msg.Answers[0].(*dnswire.A).Addr.String()
+	}
+	primary := ask()
+	p.Mapper.SetAlive("dc-primary", false)
+	backup := ask()
+	if primary == backup {
+		t.Fatal("GTM did not fail over on liveness change")
+	}
+	p.Mapper.SetAlive("dc-primary", true)
+	if again := ask(); again != primary {
+		t.Fatal("GTM did not fail back")
+	}
+}
+
+func TestAddrCloudRoundTrip(t *testing.T) {
+	for cl := anycast.CloudID(0); cl < anycast.NumClouds; cl++ {
+		got, ok := AddrCloud(CloudAddr(cl))
+		if !ok || got != cl {
+			t.Fatalf("round trip failed for cloud %d", cl)
+		}
+	}
+	if _, ok := AddrCloud(CloudAddr(0).Next()); ok {
+		// 198.18.0.1 is cloud 1 — pick a clearly foreign address instead.
+		t.Log("adjacent address is a valid cloud; expected")
+	}
+}
+
+func TestPlatformDeterminism(t *testing.T) {
+	build := func() (uint64, int) {
+		p := newPlatform(t, nil)
+		ent, _ := p.AddEnterprise("ex", MustName("ex.test"), entZone)
+		c := p.AddClient("r1", "eu")
+		p.Converge(2 * time.Second)
+		answered := 0
+		for i := 0; i < 5; i++ {
+			c.Probe(ent.DelegationSet[i%6], MustName("www.ex.test"), dnswire.TypeA, 2*time.Second,
+				func(_ simtime.Time, r *pop.DNSResponse) {
+					if r != nil {
+						answered++
+					}
+				})
+			p.Converge(3 * time.Second)
+		}
+		return p.Sched.Fired(), answered
+	}
+	f1, a1 := build()
+	f2, a2 := build()
+	if f1 != f2 || a1 != a2 {
+		t.Fatalf("platform not deterministic: %d/%d vs %d/%d", f1, a1, f2, a2)
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"akamaidns/internal/attack"
+	"akamaidns/internal/netsim"
+	"akamaidns/internal/pop"
+)
+
+// TEActuator adapts the platform's PoP routers to the automated
+// traffic-engineering controller (attack.Controller): "withdrawing from a
+// peering link" gates the PoP speaker's advertisements to that BGP peer
+// while the session stays up, exactly the §4.3.2 per-advertisement control.
+type TEActuator struct {
+	p *Platform
+	// Withdrawals / Restores count operations for instrumentation.
+	Withdrawals, Restores int
+}
+
+// NewTEActuator builds the adapter.
+func (p *Platform) NewTEActuator() *TEActuator { return &TEActuator{p: p} }
+
+// LinkName renders a PoP's peering link identifier for the controller.
+func LinkName(peer netsim.NodeID) string { return fmt.Sprintf("peer-%d", peer) }
+
+func parseLinkName(s string) (netsim.NodeID, bool) {
+	const prefix = "peer-"
+	if !strings.HasPrefix(s, prefix) {
+		return 0, false
+	}
+	v, err := strconv.Atoi(s[len(prefix):])
+	if err != nil {
+		return 0, false
+	}
+	return netsim.NodeID(v), true
+}
+
+// Links lists a PoP's peering links in controller naming.
+func (p *Platform) Links(pp *pop.PoP) []string {
+	var out []string
+	for _, nb := range pp.Node.Neighbors() {
+		out = append(out, LinkName(nb))
+	}
+	return out
+}
+
+func (a *TEActuator) findPoP(name string) *pop.PoP {
+	for _, pp := range a.p.PoPs {
+		if pp.Name == name {
+			return pp
+		}
+	}
+	return nil
+}
+
+// WithdrawLink implements attack.Actuator.
+func (a *TEActuator) WithdrawLink(popName, link string) {
+	pp := a.findPoP(popName)
+	peer, ok := parseLinkName(link)
+	if pp == nil || !ok {
+		return
+	}
+	pp.Speaker.SetAdvertise(peer, false)
+	a.Withdrawals++
+}
+
+// RestoreLink implements attack.Actuator.
+func (a *TEActuator) RestoreLink(popName, link string) {
+	pp := a.findPoP(popName)
+	peer, ok := parseLinkName(link)
+	if pp == nil || !ok {
+		return
+	}
+	pp.Speaker.SetAdvertise(peer, true)
+	a.Restores++
+}
+
+var _ attack.Actuator = (*TEActuator)(nil)

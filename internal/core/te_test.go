@@ -1,0 +1,142 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"akamaidns/internal/anycast"
+	"akamaidns/internal/attack"
+	"akamaidns/internal/dnswire"
+	"akamaidns/internal/pop"
+	"akamaidns/internal/simtime"
+)
+
+// TestAutoTEEndToEnd drives the §4.3.2 future-work controller against the
+// live platform: an attack saturates the client's home PoP, the controller
+// withdraws that PoP's advertisements on the attack-sourcing link, anycast
+// shifts the client to another PoP, and once calm returns the links are
+// restored.
+func TestAutoTEEndToEnd(t *testing.T) {
+	// 24 PoPs so every cloud is advertised from two PoPs and anycast has
+	// somewhere to shift the traffic.
+	p := newPlatform(t, func(o *Options) { o.NumPoPs = 24 })
+	ent, err := p.AddEnterprise("ex", MustName("ex.test"), entZone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := p.AddClient("r1", "eu")
+	p.Converge(2 * time.Second)
+	cloud := ent.DelegationSet[0]
+
+	ask := func() string {
+		var popName string
+		c.Probe(cloud, MustName("www.ex.test"), dnswire.TypeA, 3*time.Second,
+			func(_ simtime.Time, resp *pop.DNSResponse) {
+				if resp != nil {
+					popName = resp.PoP
+				}
+			})
+		p.Converge(4 * time.Second)
+		return popName
+	}
+
+	home := ask()
+	if home == "" {
+		t.Fatal("no steady-state answer")
+	}
+	var homePoP *pop.PoP
+	for _, pp := range p.PoPs {
+		if pp.Name == home {
+			homePoP = pp
+		}
+	}
+
+	act := p.NewTEActuator()
+	ctrl := attack.NewController(attack.DefaultControllerConfig(), act)
+
+	// The observed attack: the home PoP's compute is saturated and
+	// resolvers are losing answers; every peering link sources attack
+	// traffic (a widely-distributed botnet).
+	links := p.Links(homePoP)
+	sources := map[string]bool{}
+	util := map[string]float64{}
+	for _, l := range links {
+		sources[l] = true
+		util[l] = 0.5
+	}
+	obs := attack.Observation{
+		PoP:                home,
+		ComputeUtilization: 0.98,
+		LinkUtilization:    util,
+		AttackSources:      sources,
+		ResolverLossRate:   0.3,
+	}
+	// Tick until the controller has withdrawn every link (action III
+	// escalates across dwell windows).
+	for i := 0; i < 10 && len(ctrl.Withdrawn(home)) < len(links); i++ {
+		ctrl.Tick(p.Sched.Now(), []attack.Observation{obs})
+		p.Converge(time.Duration(ctrl.Cfg.Dwell) + time.Second)
+	}
+	if act.Withdrawals == 0 {
+		t.Fatal("controller never actuated")
+	}
+	p.Converge(30 * time.Second)
+
+	after := ask()
+	if after == "" {
+		t.Fatal("no answer after TE withdrawal (anycast failover failed)")
+	}
+	if after == home {
+		t.Fatalf("client still served by the attacked PoP %s", home)
+	}
+
+	// Attack ends: calm observations restore the links after RevertAfter.
+	calm := obs
+	calm.ComputeUtilization = 0.2
+	calm.ResolverLossRate = 0
+	calm.AttackSources = map[string]bool{}
+	ctrl.Tick(p.Sched.Now(), []attack.Observation{calm})
+	p.Converge(time.Duration(ctrl.Cfg.RevertAfter) + time.Second)
+	ctrl.Tick(p.Sched.Now(), []attack.Observation{calm})
+	if len(ctrl.Withdrawn(home)) != 0 {
+		t.Fatalf("links not restored: %v", ctrl.Withdrawn(home))
+	}
+	if act.Restores == 0 {
+		t.Fatal("actuator restore not driven")
+	}
+	p.Converge(30 * time.Second)
+	// The PoP is advertising again (the client may or may not return,
+	// depending on BGP path selection; reachability of the PoP's prefix
+	// through its links is what's restored).
+	if !homePoP.Advertising(cloud) {
+		t.Fatal("home PoP not advertising after restore")
+	}
+}
+
+// TestTEActuatorBadInputs exercises the adapter's tolerance.
+func TestTEActuatorBadInputs(t *testing.T) {
+	p := newPlatform(t, nil)
+	act := p.NewTEActuator()
+	act.WithdrawLink("no-such-pop", "peer-0")
+	act.WithdrawLink(p.PoPs[0].Name, "not-a-link")
+	act.RestoreLink("no-such-pop", "peer-0")
+	if act.Withdrawals != 0 || act.Restores != 0 {
+		t.Fatal("bad inputs counted as operations")
+	}
+}
+
+// TestLinksNaming checks the link-name round trip.
+func TestLinksNaming(t *testing.T) {
+	p := newPlatform(t, nil)
+	pp := p.PoPs[0]
+	links := p.Links(pp)
+	if len(links) == 0 {
+		t.Fatal("no links")
+	}
+	for _, l := range links {
+		if id, ok := parseLinkName(l); !ok || pp.Node.LinkTo(id) == nil {
+			t.Fatalf("link %q does not parse back to a neighbor", l)
+		}
+	}
+	_ = anycast.CloudID(0)
+}

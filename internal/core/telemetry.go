@@ -1,0 +1,46 @@
+package core
+
+import (
+	"time"
+
+	"akamaidns/internal/simtime"
+	"akamaidns/internal/telemetry"
+)
+
+// StartTelemetry launches the Data Collection/Aggregation loop of Figure 5:
+// every interval, each machine's counters and per-zone attribution are
+// sampled into the collector, which compiles fleet health, per-enterprise
+// traffic reports, and NOCC alerts. Returns the collector and its ticker.
+func (p *Platform) StartTelemetry(interval time.Duration, cfg telemetry.Thresholds) (*telemetry.Collector, *simtime.Ticker) {
+	col := telemetry.NewCollector(cfg)
+	// Per-zone attribution is reported as deltas per window.
+	lastZone := make(map[string]map[string]uint64)
+	tick := p.Sched.Every(interval, func(now simtime.Time) {
+		for _, m := range p.Machines {
+			snap := m.Server.Snapshot()
+			col.Observe(telemetry.Sample{
+				Machine:   m.ID,
+				PoP:       m.PoP.Name,
+				At:        now,
+				Received:  snap.Received,
+				Answered:  snap.Answered,
+				NXDomain:  snap.NXDomain,
+				Crashes:   snap.Crashes,
+				Suspended: m.Server.Suspended(),
+			})
+			prev := lastZone[m.ID]
+			if prev == nil {
+				prev = make(map[string]uint64)
+				lastZone[m.ID] = prev
+			}
+			for z, n := range m.Server.ZoneCounts() {
+				d := n - prev[z.String()]
+				if d > 0 {
+					col.ObserveZone(telemetry.ZoneSample{Zone: z, At: now, Queries: d})
+					prev[z.String()] = n
+				}
+			}
+		}
+	})
+	return col, tick
+}

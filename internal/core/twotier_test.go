@@ -1,0 +1,135 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"akamaidns/internal/dnswire"
+	"akamaidns/internal/resolver"
+	"akamaidns/internal/twotier"
+)
+
+// buildTwoTier deploys lowlevels and the Two-Tier zones on a platform.
+func buildTwoTier(t *testing.T) (*Platform, []dnswire.Name) {
+	t.Helper()
+	p := newPlatform(t, nil)
+	for _, rgn := range []string{"eu", "na", "as"} {
+		p.AddLowlevel(rgn+"-1", rgn)
+		p.AddLowlevel(rgn+"-2", rgn)
+	}
+	hosts, err := p.SetupTwoTier("a1", "a2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Converge(time.Minute)
+	return p, hosts
+}
+
+func resolveThrough(t *testing.T, p *Platform, r *resolver.Resolver, name dnswire.Name) resolver.Result {
+	t.Helper()
+	var got *resolver.Result
+	r.Resolve(p.Sched.Now(), name, dnswire.TypeA, func(res resolver.Result) { got = &res })
+	p.Converge(10 * time.Second)
+	if got == nil {
+		t.Fatal("two-tier resolution incomplete")
+	}
+	return *got
+}
+
+// TestTwoTierResolutionPath drives a full CDN resolution through the live
+// platform: toplevel referral (anycast) -> lowlevel answer (unicast), then
+// verifies the §5.2 cache dynamics — within the 4000 s delegation TTL,
+// refreshes of the 20 s hostname go straight to the lowlevels.
+func TestTwoTierResolutionPath(t *testing.T) {
+	p, hosts := buildTwoTier(t)
+	c := p.AddClient("r1", "eu")
+	p.Converge(2 * time.Second)
+	r := c.NewTwoTierResolver(resolver.DefaultConfig("r1"))
+
+	res := resolveThrough(t, p, r, hosts[0])
+	if res.Err != nil || res.RCode != dnswire.RCodeNoError || len(res.Answers) == 0 {
+		t.Fatalf("first resolution: %+v", res)
+	}
+	// First resolution: toplevel referral + lowlevel answer = 2 queries.
+	if res.Queries != 2 {
+		t.Fatalf("first resolution queries = %d, want 2", res.Queries)
+	}
+	llServed := totalLowlevelServed(p)
+	if llServed == 0 {
+		t.Fatal("no lowlevel served the hostname")
+	}
+
+	// Let the 20 s hostname TTL lapse (but not the 4000 s delegation):
+	// the refresh costs exactly one lowlevel query — the Two-Tier win.
+	p.Converge(30 * time.Second)
+	res2 := resolveThrough(t, p, r, hosts[0])
+	if res2.Queries != 1 {
+		t.Fatalf("refresh queries = %d, want 1 (lowlevel only)", res2.Queries)
+	}
+
+	// A different hostname in the same zone also skips the toplevels.
+	res3 := resolveThrough(t, p, r, hosts[1])
+	if res3.Queries != 1 {
+		t.Fatalf("sibling hostname queries = %d, want 1", res3.Queries)
+	}
+}
+
+func totalLowlevelServed(p *Platform) uint64 {
+	var n uint64
+	for _, ll := range p.Lowlevels() {
+		n += ll.Served
+	}
+	return n
+}
+
+// TestTwoTierRTInPlatform measures rT (toplevel/lowlevel query ratio)
+// through real resolver caches — the busy resolver's rT collapses toward
+// hostTTL/nsTTL while an idle resolver's stays near 1, matching the §5.2
+// log study and the analytic model in internal/twotier.
+func TestTwoTierRTInPlatform(t *testing.T) {
+	p, hosts := buildTwoTier(t)
+	c := p.AddClient("busy", "eu")
+	p.Converge(2 * time.Second)
+	r := c.NewTwoTierResolver(resolver.DefaultConfig("busy"))
+
+	top, low := 0, 0
+	// Query every 10 s (virtual) for 2 virtual hours: hostname expires
+	// each time (TTL 20 s), delegation (4000 s) expires once mid-run.
+	for i := 0; i < 720; i++ {
+		res := resolveThrough(t, p, r, hosts[0])
+		if res.Err != nil {
+			t.Fatalf("iteration %d: %v", i, res.Err)
+		}
+		switch res.Queries {
+		case 0: // cache hit (queries within the 20 s TTL window)
+		case 1:
+			low++
+		case 2:
+			top++
+			low++
+		default:
+			t.Fatalf("iteration %d: %d queries", i, res.Queries)
+		}
+	}
+	if low == 0 {
+		t.Fatal("no lowlevel queries")
+	}
+	rT := float64(top) / float64(low)
+	// 2 h / 4000 s ≈ 1.8 delegation refreshes over ~700 lowlevel queries.
+	if rT > 0.02 {
+		t.Fatalf("busy-resolver rT = %.4f, want ~%0.4f", rT, 2.0/700)
+	}
+	// The analytic model agrees in regime.
+	if model := 20.0 / 4000.0; rT > model*4 {
+		t.Fatalf("in-platform rT %.4f far above model %.4f", rT, model)
+	}
+	_ = twotier.CDNHostTTLSeconds
+}
+
+// TestTwoTierLowlevelRequiresSetup covers the error path.
+func TestTwoTierLowlevelRequiresSetup(t *testing.T) {
+	p := newPlatform(t, nil)
+	if _, err := p.SetupTwoTier("a1"); err == nil {
+		t.Fatal("SetupTwoTier without lowlevels succeeded")
+	}
+}

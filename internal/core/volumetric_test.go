@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"akamaidns/internal/attack"
+	"akamaidns/internal/dnswire"
+	netsimpkg "akamaidns/internal/netsim"
+	"akamaidns/internal/pop"
+	"akamaidns/internal/simtime"
+)
+
+// TestVolumetricAttackCongestsLinkAndTEMitigates is the §4.3.4 class-1
+// scenario end to end: junk (non-DNS) traffic saturates the bandwidth of a
+// PoP's peering link, causing loss for legitimate queries sharing it; the
+// §4.3.2 traffic-engineering controller withdraws the congested link and
+// anycast shifts the client to a healthy PoP.
+func TestVolumetricAttackCongestsLinkAndTEMitigates(t *testing.T) {
+	p := newPlatform(t, func(o *Options) { o.NumPoPs = 24 })
+	ent, err := p.AddEnterprise("ex", MustName("ex.test"), entZone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := p.AddClient("r1", "eu")
+	p.Converge(2 * time.Second)
+	cloud := ent.DelegationSet[0]
+
+	ask := func() (string, bool) {
+		var popName string
+		ok := false
+		c.Probe(cloud, MustName("www.ex.test"), dnswire.TypeA, 2*time.Second,
+			func(_ simtime.Time, resp *pop.DNSResponse) {
+				if resp != nil {
+					popName, ok = resp.PoP, true
+				}
+			})
+		p.Converge(3 * time.Second)
+		return popName, ok
+	}
+	home, ok := ask()
+	if !ok {
+		t.Fatal("no steady-state answer")
+	}
+	var homePoP *pop.PoP
+	for _, pp := range p.PoPs {
+		if pp.Name == home {
+			homePoP = pp
+		}
+	}
+	// Constrain the home PoP's access links: 200 pps each.
+	for _, nb := range homePoP.Node.Neighbors() {
+		homePoP.Node.LinkTo(nb).SetCapacity(200, 0.05)
+	}
+	// The access link the client enters the PoP through: the penultimate
+	// hop of its FIB walk.
+	entryLink := func(from *Client) (netsimpkg.NodeID, bool) {
+		cur := from.Node.ID
+		prev := cur
+		for i := 0; i < 64; i++ {
+			nd := p.Net.Node(cur)
+			via, ok := nd.Route(cloud.Prefix())
+			if !ok {
+				return 0, false
+			}
+			if via == cur {
+				return prev, cur == homePoP.Node.ID
+			}
+			prev = cur
+			cur = via
+		}
+		return 0, false
+	}
+	clientEntry, okEntry := entryLink(c)
+	if !okEntry {
+		t.Skip("client not routed to the home PoP via FIB walk")
+	}
+
+	// Volumetric flood: 2,000 pps of non-DNS junk at the PoP's prefix. The
+	// PoP's handler ignores the payload (firewall drops it), but the *link*
+	// saturates. Botnets hit the victim's catchment by sheer source
+	// diversity; here we pick an attacker client anycast-routed to the
+	// same PoP as the victim.
+	var attacker *Client
+	for i, region := range []string{"eu", "na", "as", "eu", "na", "as", "eu", "na", "eu", "eu"} {
+		cand := p.AddClient(fmt.Sprintf("flooder-%d", i), region)
+		p.Converge(2 * time.Second)
+		if entry, ok := entryLink(cand); ok && entry == clientEntry {
+			attacker = cand
+			break
+		}
+	}
+	if attacker == nil {
+		t.Skip("no attacker location shares the victim's access link in this topology")
+	}
+	stopAt := p.Sched.Now().Add(2 * time.Minute)
+	var flood func(now simtime.Time)
+	flood = func(now simtime.Time) {
+		if now > stopAt {
+			return
+		}
+		for i := 0; i < 4; i++ {
+			attacker.Node.Send(cloud.Prefix(), "junk") // not a DNSPacket: dropped at the PoP
+		}
+		p.Sched.After(2*time.Millisecond, flood)
+	}
+	flood(p.Sched.Now())
+
+	// During the flood, the client's queries through the congested link
+	// mostly fail.
+	lost, sent := 0, 0
+	for i := 0; i < 10; i++ {
+		sent++
+		if _, ok := ask(); !ok {
+			lost++
+		}
+	}
+	if lost == 0 {
+		t.Skipf("client does not share the flooded path (catchment split); sent=%d", sent)
+	}
+
+	// The controller observes congestion and withdraws the saturated link
+	// (action IV/V depending on spread; with all links sourcing attack it
+	// withdraws sourcing links).
+	act := p.NewTEActuator()
+	ctrl := attack.NewController(attack.DefaultControllerConfig(), act)
+	util := map[string]float64{}
+	srcs := map[string]bool{}
+	for _, nb := range homePoP.Node.Neighbors() {
+		l := homePoP.Node.LinkTo(nb)
+		util[LinkName(nb)] = l.Utilization(nb, p.Sched.Now())
+		srcs[LinkName(nb)] = l.Utilization(nb, p.Sched.Now()) > 0.9
+	}
+	obs := attack.Observation{
+		PoP:                home,
+		ComputeUtilization: 0.1,
+		LinkUtilization:    util,
+		AttackSources:      srcs,
+		ResolverLossRate:   float64(lost) / float64(sent),
+		CanSpreadAttack:    true,
+	}
+	recs := ctrl.Tick(p.Sched.Now(), []attack.Observation{obs})
+	if len(recs) == 0 || act.Withdrawals == 0 {
+		t.Fatalf("controller did not act on congestion: %v", recs)
+	}
+	p.Converge(30 * time.Second)
+
+	// §4.3.2: "Deducing exactly how anycast traffic will shift can be
+	// hard" — the flood follows anycast onto the PoP's other access link.
+	// The controller keeps observing and escalating each dwell window
+	// until the client recovers.
+	var after string
+	recovered := false
+	for round := 0; round < 6; round++ {
+		if got, ok := ask(); ok {
+			after, recovered = got, true
+			break
+		}
+		util := map[string]float64{}
+		srcs := map[string]bool{}
+		for _, nb := range homePoP.Node.Neighbors() {
+			l := homePoP.Node.LinkTo(nb)
+			u := l.Utilization(nb, p.Sched.Now())
+			util[LinkName(nb)] = u
+			srcs[LinkName(nb)] = u > 0.9
+		}
+		ctrl.Tick(p.Sched.Now(), []attack.Observation{{
+			PoP:                home,
+			ComputeUtilization: 0.1,
+			LinkUtilization:    util,
+			AttackSources:      srcs,
+			ResolverLossRate:   1,
+			CanSpreadAttack:    true,
+		}})
+		p.Converge(time.Duration(ctrl.Cfg.Dwell) + 10*time.Second)
+	}
+	if !recovered {
+		t.Fatal("client never recovered despite TE escalation")
+	}
+	if after == home {
+		t.Fatalf("still served by the congested PoP %s", home)
+	}
+}

@@ -1,0 +1,76 @@
+package dnswire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Native fuzz targets. Under plain `go test` they run the seed corpus; with
+// `go test -fuzz=FuzzUnpack` they explore. The invariants they hold:
+// Unpack must never panic, and anything it accepts must re-Pack and
+// re-Unpack to an equivalent message (modulo compression layout).
+
+func FuzzUnpack(f *testing.F) {
+	// Seed corpus: a realistic response, a query, EDNS, and junk.
+	m := sampleMessage()
+	wire, _ := m.Pack()
+	f.Add(wire)
+	q, _ := NewQuery(7, MustName("seed.example.com"), TypeAAAA).Pack()
+	f.Add(q)
+	eq := NewQuery(9, MustName("e.example.com"), TypeA)
+	opt := NewOPT(4096)
+	opt.SetCookie(Cookie{Client: [8]byte{1, 2, 3, 4, 5, 6, 7, 8}})
+	eq.Additional = append(eq.Additional, opt)
+	ew, _ := eq.Pack()
+	f.Add(ew)
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0xC0, 0x0C})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unpack(data)
+		if err != nil {
+			return
+		}
+		// Round-trip property: a decoded message re-encodes and re-decodes
+		// to the same structure.
+		wire2, err := m.Pack()
+		if err != nil {
+			// Some decodable messages are not re-encodable (e.g. names
+			// that decode from compressed junk but exceed our stricter
+			// packing rules); that is acceptable, not a crash.
+			return
+		}
+		m2, err := Unpack(wire2)
+		if err != nil {
+			t.Fatalf("re-unpack of packed message failed: %v", err)
+		}
+		w3, err := m2.Pack()
+		if err != nil {
+			t.Fatalf("re-pack failed: %v", err)
+		}
+		if !bytes.Equal(wire2, w3) {
+			t.Fatalf("pack not a fixpoint:\n%x\n%x", wire2, w3)
+		}
+	})
+}
+
+func FuzzParseName(f *testing.F) {
+	for _, s := range []string{"example.com", ".", "a.b.c.d.e.f", "*.wild.test", "-dash.test", "_srv._udp.x"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		n, err := ParseName(s)
+		if err != nil {
+			return
+		}
+		// Accepted names re-parse to themselves.
+		n2, err := ParseName(n.String())
+		if err != nil || n2 != n {
+			t.Fatalf("canonical form unstable: %q -> %q (%v)", s, n, err)
+		}
+		// And encode within limits.
+		buf, err := n.appendWire(nil)
+		if err != nil || len(buf) > 255 {
+			t.Fatalf("wire form invalid: %d bytes, %v", len(buf), err)
+		}
+	})
+}

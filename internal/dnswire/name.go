@@ -1,0 +1,221 @@
+package dnswire
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Name is a fully-qualified DNS domain name in its canonical textual form:
+// lower-case, dot-terminated ("example.com."). The root name is ".".
+//
+// Name is a value type usable as a map key. Construct names with ParseName
+// or MustName so invariants (length limits, label limits, canonical case)
+// hold everywhere downstream.
+type Name struct {
+	s string // canonical: lower-case, trailing dot; "." for root
+}
+
+// Root is the DNS root name.
+var Root = Name{s: "."}
+
+// Name and label size limits from RFC 1035 §2.3.4 (octet limits on the wire).
+const (
+	maxLabelLen = 63
+	// maxNameWire is the maximum encoded length of a name (255 octets).
+	maxNameWire = 255
+)
+
+var (
+	errNameTooLong  = errors.New("dnswire: name exceeds 255 octets")
+	errLabelTooLong = errors.New("dnswire: label exceeds 63 octets")
+	errEmptyLabel   = errors.New("dnswire: empty label")
+	errBadLabelChar = errors.New("dnswire: invalid character in label")
+)
+
+// ParseName parses a textual domain name. A missing trailing dot is added.
+// Case is folded to lower. Labels must be 1-63 octets of letters, digits,
+// hyphen, or underscore (underscore appears in service names like
+// "_dns._udp").
+func ParseName(s string) (Name, error) {
+	if s == "" {
+		return Name{}, errEmptyLabel
+	}
+	if s == "." {
+		return Root, nil
+	}
+	s = strings.ToLower(s)
+	if !strings.HasSuffix(s, ".") {
+		s += "."
+	}
+	// Validate labels and wire length: each label costs len+1, plus the
+	// terminal zero octet.
+	wire := 1
+	rest := s
+	for rest != "" {
+		i := strings.IndexByte(rest, '.')
+		if i < 0 {
+			return Name{}, fmt.Errorf("dnswire: malformed name %q", s)
+		}
+		label := rest[:i]
+		rest = rest[i+1:]
+		if label == "" {
+			return Name{}, errEmptyLabel
+		}
+		if len(label) > maxLabelLen {
+			return Name{}, errLabelTooLong
+		}
+		for j := 0; j < len(label); j++ {
+			c := label[j]
+			ok := c == '-' || c == '_' || c == '*' ||
+				(c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')
+			if !ok {
+				return Name{}, errBadLabelChar
+			}
+		}
+		wire += len(label) + 1
+	}
+	if wire > maxNameWire {
+		return Name{}, errNameTooLong
+	}
+	return Name{s: s}, nil
+}
+
+// MustName is ParseName that panics on error; for literals in tests and
+// configuration tables.
+func MustName(s string) Name {
+	n, err := ParseName(s)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// IsZero reports whether n is the invalid zero Name (distinct from Root).
+func (n Name) IsZero() bool { return n.s == "" }
+
+// IsRoot reports whether n is the root ".".
+func (n Name) IsRoot() bool { return n.s == "." }
+
+// String returns the canonical textual form.
+func (n Name) String() string {
+	if n.s == "" {
+		return "<zero>"
+	}
+	return n.s
+}
+
+// Labels splits the name into its labels, most-specific first.
+// "a.b.com." -> ["a" "b" "com"]. The root name has no labels.
+func (n Name) Labels() []string {
+	if n.s == "." || n.s == "" {
+		return nil
+	}
+	return strings.Split(strings.TrimSuffix(n.s, "."), ".")
+}
+
+// NumLabels reports the label count.
+func (n Name) NumLabels() int {
+	if n.s == "." || n.s == "" {
+		return 0
+	}
+	return strings.Count(n.s, ".")
+}
+
+// Parent returns the name with the leftmost label removed; the parent of a
+// single-label name is the root; the parent of the root is the root.
+func (n Name) Parent() Name {
+	if n.s == "." || n.s == "" {
+		return Root
+	}
+	i := strings.IndexByte(n.s, '.')
+	rest := n.s[i+1:]
+	if rest == "" {
+		return Root
+	}
+	return Name{s: rest}
+}
+
+// IsSubdomainOf reports whether n is equal to or below parent in the DNS
+// hierarchy. Every name is a subdomain of the root.
+func (n Name) IsSubdomainOf(parent Name) bool {
+	if n.s == "" || parent.s == "" {
+		return false
+	}
+	if parent.s == "." {
+		return true
+	}
+	if n.s == parent.s {
+		return true
+	}
+	return strings.HasSuffix(n.s, "."+parent.s)
+}
+
+// Prepend returns the name formed by adding one label in front of n.
+func (n Name) Prepend(label string) (Name, error) {
+	if n.s == "" {
+		return Name{}, errors.New("dnswire: Prepend on zero Name")
+	}
+	if n.s == "." {
+		return ParseName(label + ".")
+	}
+	return ParseName(label + "." + n.s)
+}
+
+// FirstLabel returns the leftmost label, or "" for the root.
+func (n Name) FirstLabel() string {
+	if n.s == "." || n.s == "" {
+		return ""
+	}
+	i := strings.IndexByte(n.s, '.')
+	return n.s[:i]
+}
+
+// IsWildcard reports whether the name's first label is "*".
+func (n Name) IsWildcard() bool { return n.FirstLabel() == "*" }
+
+// Compare orders names in canonical DNS order (by reversed label sequence),
+// which groups subdomains under their parents. Returns -1, 0, or 1.
+func (n Name) Compare(m Name) int {
+	a, b := n.Labels(), m.Labels()
+	// Compare from the rightmost (top-level) label.
+	i, j := len(a)-1, len(b)-1
+	for i >= 0 && j >= 0 {
+		if a[i] != b[j] {
+			if a[i] < b[j] {
+				return -1
+			}
+			return 1
+		}
+		i--
+		j--
+	}
+	switch {
+	case i < 0 && j < 0:
+		return 0
+	case i < 0:
+		return -1
+	default:
+		return 1
+	}
+}
+
+// appendWire encodes the name without compression into buf.
+func (n Name) appendWire(buf []byte) ([]byte, error) {
+	if n.s == "" {
+		return nil, errors.New("dnswire: encoding zero Name")
+	}
+	for _, label := range n.Labels() {
+		buf = append(buf, byte(len(label)))
+		buf = append(buf, label...)
+	}
+	return append(buf, 0), nil
+}
+
+// wireLen reports the encoded (uncompressed) length of the name.
+func (n Name) wireLen() int {
+	if n.s == "." {
+		return 1
+	}
+	return len(n.s) + 1
+}

@@ -1,0 +1,384 @@
+package dnswire
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// Unpack errors.
+var (
+	ErrTruncatedMessage = errors.New("dnswire: truncated message")
+	ErrPointerLoop      = errors.New("dnswire: compression pointer loop")
+	ErrTrailingGarbage  = errors.New("dnswire: trailing bytes after message")
+)
+
+// parser walks a wire-format message with strict bounds checks.
+type parser struct {
+	msg []byte
+	off int
+}
+
+func (p *parser) uint8() (uint8, error) {
+	if p.off+1 > len(p.msg) {
+		return 0, ErrTruncatedMessage
+	}
+	v := p.msg[p.off]
+	p.off++
+	return v, nil
+}
+
+func (p *parser) uint16() (uint16, error) {
+	if p.off+2 > len(p.msg) {
+		return 0, ErrTruncatedMessage
+	}
+	v := uint16(p.msg[p.off])<<8 | uint16(p.msg[p.off+1])
+	p.off += 2
+	return v, nil
+}
+
+func (p *parser) uint32() (uint32, error) {
+	if p.off+4 > len(p.msg) {
+		return 0, ErrTruncatedMessage
+	}
+	v := uint32(p.msg[p.off])<<24 | uint32(p.msg[p.off+1])<<16 |
+		uint32(p.msg[p.off+2])<<8 | uint32(p.msg[p.off+3])
+	p.off += 4
+	return v, nil
+}
+
+func (p *parser) bytes(n int) ([]byte, error) {
+	if n < 0 || p.off+n > len(p.msg) {
+		return nil, ErrTruncatedMessage
+	}
+	b := p.msg[p.off : p.off+n]
+	p.off += n
+	return b, nil
+}
+
+// name decodes a possibly-compressed domain name starting at the current
+// offset. Pointer chains are bounded: each pointer must point strictly
+// backwards, which both matches sane encoders and guarantees termination.
+func (p *parser) name() (Name, error) {
+	var sb strings.Builder
+	off := p.off
+	jumped := false
+	ptrBudget := 64 // generous; strictly-backwards rule already bounds chains
+	totalLen := 0
+	for {
+		if off >= len(p.msg) {
+			return Name{}, ErrTruncatedMessage
+		}
+		c := p.msg[off]
+		switch {
+		case c == 0:
+			off++
+			if !jumped {
+				p.off = off
+			}
+			if sb.Len() == 0 {
+				return Root, nil
+			}
+			return ParseName(sb.String())
+		case c&0xC0 == 0xC0:
+			if off+2 > len(p.msg) {
+				return Name{}, ErrTruncatedMessage
+			}
+			ptr := int(c&0x3F)<<8 | int(p.msg[off+1])
+			if ptr >= off {
+				return Name{}, ErrPointerLoop
+			}
+			if ptrBudget--; ptrBudget < 0 {
+				return Name{}, ErrPointerLoop
+			}
+			if !jumped {
+				p.off = off + 2
+				jumped = true
+			}
+			off = ptr
+		case c&0xC0 != 0:
+			return Name{}, fmt.Errorf("dnswire: reserved label type %#x", c&0xC0)
+		default:
+			l := int(c)
+			if off+1+l > len(p.msg) {
+				return Name{}, ErrTruncatedMessage
+			}
+			totalLen += l + 1
+			if totalLen > maxNameWire {
+				return Name{}, errNameTooLong
+			}
+			sb.Write(p.msg[off+1 : off+1+l])
+			sb.WriteByte('.')
+			off += 1 + l
+		}
+	}
+}
+
+// Unpack parses a wire-format DNS message. It rejects trailing bytes, loops
+// in compression pointers, and out-of-bounds lengths.
+func Unpack(wire []byte) (*Message, error) {
+	p := &parser{msg: wire}
+	m := &Message{}
+	id, err := p.uint16()
+	if err != nil {
+		return nil, err
+	}
+	flags, err := p.uint16()
+	if err != nil {
+		return nil, err
+	}
+	m.ID = id
+	m.Response = flags&(1<<15) != 0
+	m.OpCode = OpCode(flags >> 11 & 0xF)
+	m.Authoritative = flags&(1<<10) != 0
+	m.Truncated = flags&(1<<9) != 0
+	m.RecursionDesired = flags&(1<<8) != 0
+	m.RecursionAvailable = flags&(1<<7) != 0
+	m.Zero = flags&(1<<6) != 0
+	m.AuthenticData = flags&(1<<5) != 0
+	m.CheckingDisabled = flags&(1<<4) != 0
+	m.RCode = RCode(flags & 0xF)
+
+	counts := make([]uint16, 4)
+	for i := range counts {
+		if counts[i], err = p.uint16(); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < int(counts[0]); i++ {
+		var q Question
+		if q.Name, err = p.name(); err != nil {
+			return nil, fmt.Errorf("question %d: %w", i, err)
+		}
+		t, err := p.uint16()
+		if err != nil {
+			return nil, err
+		}
+		c, err := p.uint16()
+		if err != nil {
+			return nil, err
+		}
+		q.Type, q.Class = Type(t), Class(c)
+		m.Questions = append(m.Questions, q)
+	}
+	sections := []*[]RR{&m.Answers, &m.Authority, &m.Additional}
+	for si, sec := range sections {
+		for i := 0; i < int(counts[si+1]); i++ {
+			rr, err := p.rr()
+			if err != nil {
+				return nil, fmt.Errorf("section %d record %d: %w", si+1, i, err)
+			}
+			*sec = append(*sec, rr)
+		}
+	}
+	if p.off != len(wire) {
+		return nil, ErrTrailingGarbage
+	}
+	return m, nil
+}
+
+func (p *parser) rr() (RR, error) {
+	name, err := p.name()
+	if err != nil {
+		return nil, err
+	}
+	t16, err := p.uint16()
+	if err != nil {
+		return nil, err
+	}
+	c16, err := p.uint16()
+	if err != nil {
+		return nil, err
+	}
+	ttl, err := p.uint32()
+	if err != nil {
+		return nil, err
+	}
+	rdlen, err := p.uint16()
+	if err != nil {
+		return nil, err
+	}
+	h := RRHeader{Name: name, Type: Type(t16), Class: Class(c16), TTL: ttl}
+	end := p.off + int(rdlen)
+	if end > len(p.msg) {
+		return nil, ErrTruncatedMessage
+	}
+	rr, err := p.rdata(h, end)
+	if err != nil {
+		return nil, err
+	}
+	if p.off != end {
+		return nil, fmt.Errorf("dnswire: %s RDATA length mismatch (at %d, want %d)", h.Type, p.off, end)
+	}
+	return rr, nil
+}
+
+func (p *parser) rdata(h RRHeader, end int) (RR, error) {
+	switch h.Type {
+	case TypeA:
+		b, err := p.bytes(4)
+		if err != nil {
+			return nil, err
+		}
+		var a4 [4]byte
+		copy(a4[:], b)
+		return &A{RRHeader: h, Addr: netip.AddrFrom4(a4)}, nil
+	case TypeAAAA:
+		b, err := p.bytes(16)
+		if err != nil {
+			return nil, err
+		}
+		var a16 [16]byte
+		copy(a16[:], b)
+		return &AAAA{RRHeader: h, Addr: netip.AddrFrom16(a16)}, nil
+	case TypeNS:
+		n, err := p.name()
+		if err != nil {
+			return nil, err
+		}
+		return &NS{RRHeader: h, Target: n}, nil
+	case TypeCNAME:
+		n, err := p.name()
+		if err != nil {
+			return nil, err
+		}
+		return &CNAME{RRHeader: h, Target: n}, nil
+	case TypePTR:
+		n, err := p.name()
+		if err != nil {
+			return nil, err
+		}
+		return &PTR{RRHeader: h, Target: n}, nil
+	case TypeSOA:
+		soa := &SOA{RRHeader: h}
+		var err error
+		if soa.MName, err = p.name(); err != nil {
+			return nil, err
+		}
+		if soa.RName, err = p.name(); err != nil {
+			return nil, err
+		}
+		for _, dst := range []*uint32{&soa.Serial, &soa.Refresh, &soa.Retry, &soa.Expire, &soa.Minimum} {
+			if *dst, err = p.uint32(); err != nil {
+				return nil, err
+			}
+		}
+		return soa, nil
+	case TypeMX:
+		pref, err := p.uint16()
+		if err != nil {
+			return nil, err
+		}
+		n, err := p.name()
+		if err != nil {
+			return nil, err
+		}
+		return &MX{RRHeader: h, Preference: pref, Exchange: n}, nil
+	case TypeTXT:
+		txt := &TXT{RRHeader: h}
+		for p.off < end {
+			l, err := p.uint8()
+			if err != nil {
+				return nil, err
+			}
+			if p.off+int(l) > end {
+				return nil, ErrTruncatedMessage
+			}
+			b, err := p.bytes(int(l))
+			if err != nil {
+				return nil, err
+			}
+			txt.Texts = append(txt.Texts, string(b))
+		}
+		return txt, nil
+	case TypeSRV:
+		srv := &SRV{RRHeader: h}
+		var err error
+		if srv.Priority, err = p.uint16(); err != nil {
+			return nil, err
+		}
+		if srv.Weight, err = p.uint16(); err != nil {
+			return nil, err
+		}
+		if srv.Port, err = p.uint16(); err != nil {
+			return nil, err
+		}
+		if srv.Target, err = p.name(); err != nil {
+			return nil, err
+		}
+		return srv, nil
+	case TypeCAA:
+		flags, err := p.uint8()
+		if err != nil {
+			return nil, err
+		}
+		tagLen, err := p.uint8()
+		if err != nil {
+			return nil, err
+		}
+		tag, err := p.bytes(int(tagLen))
+		if err != nil {
+			return nil, err
+		}
+		if p.off > end {
+			return nil, ErrTruncatedMessage
+		}
+		val, err := p.bytes(end - p.off)
+		if err != nil {
+			return nil, err
+		}
+		return &CAA{RRHeader: h, Flags: flags, Tag: string(tag), Value: string(val)}, nil
+	case TypeOPT:
+		opt := &OPTRecord{RRHeader: h}
+		for p.off < end {
+			code, err := p.uint16()
+			if err != nil {
+				return nil, err
+			}
+			olen, err := p.uint16()
+			if err != nil {
+				return nil, err
+			}
+			if p.off+int(olen) > end {
+				return nil, ErrTruncatedMessage
+			}
+			data, err := p.bytes(int(olen))
+			if err != nil {
+				return nil, err
+			}
+			opt.Options = append(opt.Options, EDNSOption{Code: code, Data: append([]byte(nil), data...)})
+		}
+		return opt, nil
+	default:
+		data, err := p.bytes(end - p.off)
+		if err != nil {
+			return nil, err
+		}
+		return &RawRecord{RRHeader: h, Data: append([]byte(nil), data...)}, nil
+	}
+}
+
+// NewQuery builds a standard recursive-desired-off query for the platform's
+// resolvers and tools.
+func NewQuery(id uint16, name Name, t Type) *Message {
+	return &Message{
+		Header:    Header{ID: id, OpCode: OpQuery},
+		Questions: []Question{{Name: name, Type: t, Class: ClassINET}},
+	}
+}
+
+// NewResponse builds a response skeleton echoing the query's ID, question,
+// opcode, and RD bit.
+func NewResponse(q *Message) *Message {
+	r := &Message{
+		Header: Header{
+			ID:               q.ID,
+			Response:         true,
+			OpCode:           q.OpCode,
+			RecursionDesired: q.RecursionDesired,
+		},
+	}
+	r.Questions = append(r.Questions, q.Questions...)
+	return r
+}

@@ -1,0 +1,67 @@
+// Package experiments reproduces every figure and table of the paper's
+// evaluation. Each Fig* function runs one experiment end-to-end on the
+// simulated substrates and returns both structured results and a formatted
+// report whose rows mirror the paper's plotted series. cmd/experiments and
+// the repository-root benchmarks are thin wrappers over this package.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report is a formatted experiment output.
+type Report struct {
+	// ID is the paper artifact ("fig1", "fig8", ...).
+	ID string
+	// Title describes the artifact.
+	Title string
+	// PaperClaim summarizes what the paper reports.
+	PaperClaim string
+	// Measured summarizes what this reproduction measured.
+	Measured string
+	// Series holds the printable data lines.
+	Series []string
+	// Pass reports whether the measured shape matches the paper's claim.
+	Pass bool
+}
+
+// String renders the report.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	fmt.Fprintf(&b, "paper:    %s\n", r.PaperClaim)
+	fmt.Fprintf(&b, "measured: %s\n", r.Measured)
+	fmt.Fprintf(&b, "shape-match: %v\n", r.Pass)
+	for _, s := range r.Series {
+		b.WriteString(s)
+		if !strings.HasSuffix(s, "\n") {
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// All runs every experiment at the given scale and returns the reports in
+// paper order. scale selects laptop-friendly ("small") or full ("large")
+// parameters.
+func All(scale string) []Report {
+	small := scale != "large"
+	return []Report{
+		Fig1WorkloadWeek(small),
+		Fig2Concentration(small),
+		Fig3PerResolverRates(small),
+		Fig4WeeklyChange(small),
+		TableResolverConsistency(small),
+		Fig8Failover(small),
+		Fig9DecisionTree(),
+		Fig10NXDomainFilter(small),
+		Fig11TwoTierSpeedup(small),
+		Fig12ResolutionTimes(small),
+		TableRT(small),
+		TableIPTTLConsistency(small),
+		TableDelegationCapacity(),
+		ExtPushSpeedup(small),
+		ExtCatchmentPrediction(small),
+	}
+}

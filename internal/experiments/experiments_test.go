@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Each experiment must run at small scale and report a shape match with the
+// paper. These are the repository's reproduction gates.
+
+func check(t *testing.T, rep Report) {
+	t.Helper()
+	t.Logf("%s: measured: %s", rep.ID, rep.Measured)
+	if !rep.Pass {
+		t.Errorf("%s shape mismatch.\npaper:    %s\nmeasured: %s", rep.ID, rep.PaperClaim, rep.Measured)
+	}
+	if rep.ID == "" || rep.Title == "" || rep.PaperClaim == "" {
+		t.Errorf("%s: incomplete report metadata", rep.ID)
+	}
+}
+
+func TestFig1(t *testing.T)    { check(t, Fig1WorkloadWeek(true)) }
+func TestFig2(t *testing.T)    { check(t, Fig2Concentration(true)) }
+func TestFig3(t *testing.T)    { check(t, Fig3PerResolverRates(true)) }
+func TestFig4(t *testing.T)    { check(t, Fig4WeeklyChange(true)) }
+func TestFig9(t *testing.T)    { check(t, Fig9DecisionTree()) }
+func TestFig10(t *testing.T)   { check(t, Fig10NXDomainFilter(true)) }
+func TestFig11(t *testing.T)   { check(t, Fig11TwoTierSpeedup(true)) }
+func TestFig12(t *testing.T)   { check(t, Fig12ResolutionTimes(true)) }
+func TestTableRT(t *testing.T) { check(t, TableRT(true)) }
+func TestTableConsistency(t *testing.T) {
+	check(t, TableResolverConsistency(true))
+}
+func TestTableIPTTL(t *testing.T)      { check(t, TableIPTTLConsistency(true)) }
+func TestTableDelegation(t *testing.T) { check(t, TableDelegationCapacity()) }
+func TestExtPush(t *testing.T)         { check(t, ExtPushSpeedup(true)) }
+func TestExtPredict(t *testing.T)      { check(t, ExtCatchmentPrediction(true)) }
+
+func TestFig8(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig8 runs a wide-area BGP simulation")
+	}
+	check(t, Fig8Failover(true))
+}
+
+func TestReportString(t *testing.T) {
+	s := TableDelegationCapacity().String()
+	for _, want := range []string{"delegation", "paper:", "measured:", "134596"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestAllRegistryComplete guards the artifact registry: All() must return
+// every paper artifact plus the extensions, each with a unique id.
+func TestAllRegistryComplete(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	reps := All("small")
+	want := []string{
+		"fig1", "fig2", "fig3", "fig4", "consistency",
+		"fig8", "fig9", "fig10", "fig11", "fig12",
+		"rt", "ipttl", "delegation", "push", "predict",
+	}
+	if len(reps) != len(want) {
+		t.Fatalf("All returned %d artifacts, want %d", len(reps), len(want))
+	}
+	seen := map[string]bool{}
+	for i, rep := range reps {
+		if rep.ID != want[i] {
+			t.Errorf("artifact %d = %s, want %s", i, rep.ID, want[i])
+		}
+		if seen[rep.ID] {
+			t.Errorf("duplicate artifact id %s", rep.ID)
+		}
+		seen[rep.ID] = true
+		if !rep.Pass {
+			t.Errorf("%s failed shape check: %s", rep.ID, rep.Measured)
+		}
+	}
+}

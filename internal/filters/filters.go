@@ -1,0 +1,93 @@
+// Package filters implements the query scoring pipeline of §4.3.3–§4.3.4:
+// each incoming query passes through a sequence of filters, each of which
+// may add a penalty score; the total score determines which priority queue
+// the query lands in (or outright discard at S ≥ Smax).
+//
+// The five production filters are implemented: per-resolver leaky-bucket
+// rate limiting, the allowlist of historically-known resolvers, the
+// NXDOMAIN filter with its per-hot-zone valid-hostname tree, hop-count
+// (IP TTL) filtering, and the per-nameserver loyalty filter.
+package filters
+
+import (
+	"sync"
+
+	"akamaidns/internal/dnswire"
+	"akamaidns/internal/simtime"
+)
+
+// Query is the filter-visible view of one incoming DNS query.
+type Query struct {
+	// Resolver is the source address key (one per resolver IP).
+	Resolver string
+	// ASN is the source AS (used only for reporting).
+	ASN  int
+	Name dnswire.Name
+	Type dnswire.Type
+	// Zone is the authoritative zone matched for Name (zero when the
+	// server is not authoritative); set by the nameserver before scoring.
+	Zone dnswire.Name
+	// IPTTL is the received packet's IP TTL.
+	IPTTL int
+	// Now is the virtual arrival time.
+	Now simtime.Time
+}
+
+// Filter scores one query. Implementations must be safe for concurrent use:
+// the same pipeline serves the event-driven simulation and the real UDP
+// server.
+type Filter interface {
+	// Name identifies the filter in metrics.
+	Name() string
+	// Score returns this filter's penalty contribution for q (0 = clean).
+	Score(q *Query) float64
+}
+
+// Default penalty weights. Each filter's contribution is configurable at
+// construction; these are the platform defaults used by the experiments.
+const (
+	PenaltyRate      = 40
+	PenaltyAllowlist = 30
+	PenaltyNXDomain  = 60
+	PenaltyHopCount  = 50
+	PenaltyLoyalty   = 20
+)
+
+// Pipeline runs filters in order and sums penalties.
+type Pipeline struct {
+	mu      sync.RWMutex
+	filters []Filter
+}
+
+// NewPipeline builds a pipeline over the given filters.
+func NewPipeline(fs ...Filter) *Pipeline {
+	return &Pipeline{filters: fs}
+}
+
+// Append adds a filter at the end of the pipeline.
+func (p *Pipeline) Append(f Filter) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.filters = append(p.filters, f)
+}
+
+// Score runs every filter and returns the total penalty plus the per-filter
+// breakdown (keyed by filter name; zero contributions omitted).
+func (p *Pipeline) Score(q *Query) (float64, map[string]float64) {
+	p.mu.RLock()
+	fs := p.filters
+	p.mu.RUnlock()
+	total := 0.0
+	var detail map[string]float64
+	for _, f := range fs {
+		s := f.Score(q)
+		if s > 0 {
+			total += s
+			if detail == nil {
+				detail = make(map[string]float64, 2)
+			}
+			detail[f.Name()] += s
+		}
+	}
+	return total, detail
+}

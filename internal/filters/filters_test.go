@@ -1,0 +1,405 @@
+package filters
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"akamaidns/internal/dnswire"
+	"akamaidns/internal/simtime"
+)
+
+func q(resolver, name string, now simtime.Time) *Query {
+	return &Query{
+		Resolver: resolver,
+		Name:     dnswire.MustName(name),
+		Type:     dnswire.TypeA,
+		IPTTL:    56,
+		Now:      now,
+	}
+}
+
+func TestRateLimitAllowsWithinRate(t *testing.T) {
+	rl := NewRateLimit()
+	rl.Learn("r1", 10)
+	now := simtime.Time(0)
+	// 10 qps for 30 seconds: never over.
+	for i := 0; i < 300; i++ {
+		if s := rl.Score(q("r1", "a.example.com", now)); s != 0 {
+			t.Fatalf("query %d scored %v", i, s)
+		}
+		now = now.Add(100 * simtime.Millisecond.Duration())
+	}
+}
+
+func TestRateLimitAllowsBursts(t *testing.T) {
+	// Figure 3: bursty traffic (max >> avg) must pass; that is why the
+	// platform uses a leaky bucket.
+	rl := NewRateLimit()
+	rl.Learn("r1", 10) // bucket capacity 150
+	now := simtime.Time(simtime.Hour)
+	over := 0
+	for i := 0; i < 100; i++ { // instantaneous 100-query burst
+		if rl.Score(q("r1", "a.example.com", now)) > 0 {
+			over++
+		}
+	}
+	if over != 0 {
+		t.Fatalf("burst of 100 flagged %d times with capacity 150", over)
+	}
+}
+
+func TestRateLimitFlagsSustainedExcess(t *testing.T) {
+	rl := NewRateLimit()
+	rl.Learn("r1", 10)
+	now := simtime.Time(0)
+	flagged := 0
+	// 1000 qps for 10 seconds: bucket (cap 150) fills in ~0.15s.
+	for i := 0; i < 10000; i++ {
+		if rl.Score(q("r1", "a.example.com", now)) > 0 {
+			flagged++
+		}
+		now = now.Add(simtime.Millisecond.Duration())
+	}
+	if flagged < 9000 {
+		t.Fatalf("sustained 100x excess flagged only %d/10000", flagged)
+	}
+	if rl.Over == 0 {
+		t.Fatal("Over counter not advanced")
+	}
+}
+
+func TestRateLimitDrains(t *testing.T) {
+	rl := NewRateLimit()
+	rl.Learn("r1", 10)
+	now := simtime.Time(0)
+	// Fill the bucket.
+	for i := 0; i < 200; i++ {
+		rl.Score(q("r1", "x.example.com", now))
+	}
+	// After a long idle period the bucket must be empty again.
+	now = now.Add(simtime.Minute.Duration())
+	if s := rl.Score(q("r1", "x.example.com", now)); s != 0 {
+		t.Fatalf("bucket did not drain: %v", s)
+	}
+}
+
+func TestRateLimitDefaultAndLearn(t *testing.T) {
+	rl := NewRateLimit()
+	if rl.Limit("unknown") != rl.DefaultQPS {
+		t.Fatal("default limit wrong")
+	}
+	rl.Learn("r", 123)
+	if rl.Limit("r") != 123 {
+		t.Fatal("learned limit wrong")
+	}
+	rl.Learn("r", 0) // unlearn
+	if rl.Limit("r") != rl.DefaultQPS {
+		t.Fatal("unlearn failed")
+	}
+}
+
+func TestFixedWindowFlagsBursts(t *testing.T) {
+	// Ablation: the naive window flags legitimate bursts the leaky bucket
+	// tolerates.
+	fw := NewFixedWindowRateLimit()
+	fw.Learn("r1", 10)
+	now := simtime.Time(simtime.Hour)
+	flagged := 0
+	for i := 0; i < 100; i++ {
+		if fw.Score(q("r1", "a.example.com", now)) > 0 {
+			flagged++
+		}
+	}
+	if flagged != 90 {
+		t.Fatalf("fixed window flagged %d/100 burst queries, want 90", flagged)
+	}
+}
+
+func TestAllowlist(t *testing.T) {
+	al := NewAllowlist()
+	al.Add("good1", "good2")
+	query := q("bad", "a.example.com", 0)
+	if al.Score(query) != 0 {
+		t.Fatal("inactive allowlist scored")
+	}
+	al.SetActive(true)
+	if al.Score(query) != PenaltyAllowlist {
+		t.Fatal("active allowlist missed unknown resolver")
+	}
+	if al.Score(q("good1", "a.example.com", 0)) != 0 {
+		t.Fatal("allowlisted resolver scored")
+	}
+	if !al.Contains("good2") || al.Contains("bad") || al.Len() != 2 {
+		t.Fatal("membership wrong")
+	}
+	al.Remove("good2")
+	if al.Contains("good2") {
+		t.Fatal("Remove failed")
+	}
+	if al.Misses == 0 {
+		t.Fatal("Misses not counted")
+	}
+}
+
+func TestHopCount(t *testing.T) {
+	hc := NewHopCount()
+	hc.Learn("r1", 56)
+	probe := q("r1", "a.example.com", 0)
+	probe.IPTTL = 47
+	if hc.Score(probe) != 0 {
+		t.Fatal("inactive filter scored")
+	}
+	hc.SetActive(true)
+	if hc.Score(probe) != PenaltyHopCount {
+		t.Fatal("9-hop deviation not flagged")
+	}
+	for _, ttl := range []int{55, 56, 57} { // within ±1
+		probe.IPTTL = ttl
+		if hc.Score(probe) != 0 {
+			t.Fatalf("TTL %d flagged within tolerance", ttl)
+		}
+	}
+	// Unknown resolvers are not scored by this filter.
+	unk := q("stranger", "a.example.com", 0)
+	unk.IPTTL = 3
+	if hc.Score(unk) != 0 {
+		t.Fatal("unknown resolver scored by hopcount")
+	}
+	if want, ok := hc.Expected("r1"); !ok || want != 56 {
+		t.Fatal("Expected lookup wrong")
+	}
+}
+
+func TestLoyalty(t *testing.T) {
+	lo := NewLoyalty()
+	lo.Observe("r1", 0)
+	probe := q("r2", "a.example.com", simtime.Hour)
+	if lo.Score(probe) != 0 {
+		t.Fatal("inactive loyalty scored")
+	}
+	lo.SetActive(true)
+	if lo.Score(probe) != PenaltyLoyalty {
+		t.Fatal("never-seen resolver not flagged")
+	}
+	if lo.Score(q("r1", "a.example.com", simtime.Hour)) != 0 {
+		t.Fatal("known resolver flagged")
+	}
+	// Retention expiry.
+	old := q("r1", "a.example.com", 8*simtime.Day)
+	if lo.Score(old) != PenaltyLoyalty {
+		t.Fatal("stale resolver not flagged after retention")
+	}
+	if !lo.Known("r1", simtime.Hour) || lo.Known("r1", 8*simtime.Day) {
+		t.Fatal("Known retention wrong")
+	}
+	// Learning freeze.
+	lo.SetLearning(false)
+	lo.Observe("attacker", simtime.Hour)
+	if lo.Known("attacker", simtime.Hour) {
+		t.Fatal("frozen learning still recorded")
+	}
+	if lo.Len() != 1 {
+		t.Fatalf("Len = %d", lo.Len())
+	}
+}
+
+// fakeZoneInfo implements ZoneInfo for tests.
+type fakeZoneInfo struct {
+	names map[dnswire.Name][]dnswire.Name
+	cuts  map[dnswire.Name][]dnswire.Name
+}
+
+func (f *fakeZoneInfo) ValidNames(zone dnswire.Name) []dnswire.Name { return f.names[zone] }
+func (f *fakeZoneInfo) CutPoints(zone dnswire.Name) []dnswire.Name  { return f.cuts[zone] }
+
+func newFakeZone() (*fakeZoneInfo, dnswire.Name) {
+	zn := dnswire.MustName("example.com")
+	return &fakeZoneInfo{
+		names: map[dnswire.Name][]dnswire.Name{zn: {
+			zn,
+			dnswire.MustName("www.example.com"),
+			dnswire.MustName("mail.example.com"),
+			dnswire.MustName("wild.example.com"),
+			dnswire.MustName("*.wild.example.com"),
+		}},
+		cuts: map[dnswire.Name][]dnswire.Name{zn: {dnswire.MustName("sub.example.com")}},
+	}, zn
+}
+
+func TestHostTree(t *testing.T) {
+	zi, zn := newFakeZone()
+	tree := BuildHostTree(zi, zn)
+	valid := []string{
+		"example.com", "www.example.com",
+		"anything.wild.example.com", "deep.deeper.wild.example.com",
+		"sub.example.com", "below.sub.example.com",
+	}
+	for _, s := range valid {
+		if !tree.Valid(dnswire.MustName(s)) {
+			t.Errorf("Valid(%s) = false", s)
+		}
+	}
+	invalid := []string{"nope.example.com", "x.www.example.com", "a3n92nv9.example.com"}
+	for _, s := range invalid {
+		if tree.Valid(dnswire.MustName(s)) {
+			t.Errorf("Valid(%s) = true", s)
+		}
+	}
+	if tree.Size() != 5 {
+		t.Fatalf("Size = %d", tree.Size())
+	}
+}
+
+func TestNXDomainActivatesOnThreshold(t *testing.T) {
+	zi, zn := newFakeZone()
+	f := NewNXDomain(zi, PerHotZone)
+	f.Threshold = 10
+	attack := q("r1", "a3n92nv9.example.com", 0)
+	attack.Zone = zn
+	// Below threshold: no scoring.
+	for i := 0; i < 9; i++ {
+		f.ObserveResponse(zn, true, 0)
+	}
+	if f.Score(attack) != 0 {
+		t.Fatal("filter active below threshold")
+	}
+	f.ObserveResponse(zn, true, 0)
+	if f.Score(attack) != PenaltyNXDomain {
+		t.Fatal("filter inactive at threshold")
+	}
+	// Legitimate names still pass.
+	legit := q("r1", "www.example.com", 0)
+	legit.Zone = zn
+	if f.Score(legit) != 0 {
+		t.Fatal("legitimate name penalized")
+	}
+	if len(f.HotZones()) != 1 {
+		t.Fatalf("HotZones = %v", f.HotZones())
+	}
+	if f.Flagged.Load() == 0 {
+		t.Fatal("Flagged not counted")
+	}
+}
+
+func TestNXDomainWindowResets(t *testing.T) {
+	zi, zn := newFakeZone()
+	f := NewNXDomain(zi, PerHotZone)
+	f.Threshold = 10
+	// 9 NXDOMAINs now, 9 more after the window: never hot.
+	for i := 0; i < 9; i++ {
+		f.ObserveResponse(zn, true, 0)
+	}
+	later := simtime.Time(11 * simtime.Second)
+	for i := 0; i < 9; i++ {
+		f.ObserveResponse(zn, true, later)
+	}
+	attack := q("r1", "junk.example.com", later)
+	attack.Zone = zn
+	if f.Score(attack) != 0 {
+		t.Fatal("window did not reset")
+	}
+}
+
+func TestNXDomainAllZonesEager(t *testing.T) {
+	zi, zn := newFakeZone()
+	f := NewNXDomain(zi, AllZones)
+	// A single *successful* response is enough to build the tree eagerly.
+	f.ObserveResponse(zn, false, 0)
+	attack := q("r1", "junk.example.com", 0)
+	attack.Zone = zn
+	if f.Score(attack) != PenaltyNXDomain {
+		t.Fatal("AllZones mode did not build tree eagerly")
+	}
+	if f.TreeBuilds.Load() != 1 {
+		t.Fatalf("TreeBuilds = %d", f.TreeBuilds.Load())
+	}
+}
+
+func TestNXDomainInvalidate(t *testing.T) {
+	zi, zn := newFakeZone()
+	f := NewNXDomain(zi, PerHotZone)
+	f.Threshold = 1
+	f.ObserveResponse(zn, true, 0)
+	attack := q("r1", "junk.example.com", 0)
+	attack.Zone = zn
+	if f.Score(attack) == 0 {
+		t.Fatal("not active")
+	}
+	f.Invalidate(zn)
+	if f.Score(attack) != 0 {
+		t.Fatal("Invalidate did not drop tree")
+	}
+}
+
+func TestNXDomainNoZoneNoScore(t *testing.T) {
+	zi, _ := newFakeZone()
+	f := NewNXDomain(zi, PerHotZone)
+	probe := q("r1", "junk.example.com", 0) // Zone left zero
+	if f.Score(probe) != 0 {
+		t.Fatal("zero zone scored")
+	}
+	f.ObserveResponse(dnswire.Name{}, true, 0) // must not panic or count
+}
+
+func TestPipelineSumsAndReports(t *testing.T) {
+	al := NewAllowlist()
+	al.SetActive(true)
+	lo := NewLoyalty()
+	lo.SetActive(true)
+	p := NewPipeline(al, lo)
+	total, detail := p.Score(q("stranger", "a.example.com", 0))
+	if total != PenaltyAllowlist+PenaltyLoyalty {
+		t.Fatalf("total = %v", total)
+	}
+	if detail["allowlist"] != PenaltyAllowlist || detail["loyalty"] != PenaltyLoyalty {
+		t.Fatalf("detail = %v", detail)
+	}
+	// Clean query: zero with nil detail.
+	al.Add("known")
+	lo.Observe("known", 0)
+	total, detail = p.Score(q("known", "a.example.com", 0))
+	if total != 0 || detail != nil {
+		t.Fatalf("clean query: %v %v", total, detail)
+	}
+	p.Append(NewHopCount())
+	total, _ = p.Score(q("known", "a.example.com", 0))
+	if total != 0 {
+		t.Fatal("appended inactive filter changed score")
+	}
+}
+
+func TestFiltersConcurrencySafety(t *testing.T) {
+	zi, zn := newFakeZone()
+	nx := NewNXDomain(zi, PerHotZone)
+	nx.Threshold = 5
+	rl := NewRateLimit()
+	al := NewAllowlist()
+	al.SetActive(true)
+	lo := NewLoyalty()
+	lo.SetActive(true)
+	hc := NewHopCount()
+	hc.SetActive(true)
+	p := NewPipeline(rl, al, nx, lo, hc)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				res := fmt.Sprintf("r%d", i%64)
+				query := q(res, fmt.Sprintf("h%d.example.com", i%100), simtime.Time(i)*simtime.Millisecond)
+				query.Zone = zn
+				p.Score(query)
+				if i%3 == 0 {
+					nx.ObserveResponse(zn, i%5 == 0, query.Now)
+					lo.Observe(res, query.Now)
+					rl.Learn(res, float64(1+i%50))
+					hc.Learn(res, 40+i%20)
+					al.Add(res)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

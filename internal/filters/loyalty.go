@@ -1,0 +1,109 @@
+package filters
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"akamaidns/internal/simtime"
+)
+
+// Loyalty is the per-nameserver filter of §4.3.4 (attack class 5, spoofed
+// source IP and IP TTL). Each nameserver independently tracks the resolvers
+// that historically send it queries; because anycast routes each resolver to
+// a particular PoP, an attacker who spoofs an allowlisted resolver's address
+// and TTL must *also* be routed to the same PoP for its traffic to pass.
+type Loyalty struct {
+	mu sync.RWMutex
+	// seen maps resolver -> last-observed time, learned during calm traffic.
+	seen   map[string]simtime.Time
+	active bool
+	// learning gates whether Observe records new resolvers; during an
+	// attack learning is frozen so attack sources don't launder themselves
+	// into the set.
+	learning bool
+
+	// Retention drops resolvers not seen for this long.
+	Retention simtime.Time
+	// Penalty is the score for never-seen resolvers.
+	Penalty float64
+	// Flagged counts penalized queries.
+	Flagged atomic.Uint64
+}
+
+// NewLoyalty returns a learning, non-enforcing loyalty filter with 7-day
+// retention (Figure 4 shows heavy-hitter resolvers stable over a week).
+func NewLoyalty() *Loyalty {
+	return &Loyalty{
+		seen:      make(map[string]simtime.Time),
+		learning:  true,
+		Retention: 7 * simtime.Day,
+		Penalty:   PenaltyLoyalty,
+	}
+}
+
+// Name implements Filter.
+func (l *Loyalty) Name() string { return "loyalty" }
+
+// Observe records that a resolver was seen at this nameserver (call on each
+// accepted query while learning is on).
+func (l *Loyalty) Observe(resolver string, now simtime.Time) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.learning {
+		return
+	}
+	l.seen[resolver] = now
+}
+
+// SetLearning gates Observe.
+func (l *Loyalty) SetLearning(on bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.learning = on
+}
+
+// SetActive toggles enforcement.
+func (l *Loyalty) SetActive(on bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.active = on
+}
+
+// Active reports enforcement state.
+func (l *Loyalty) Active() bool {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.active
+}
+
+// Known reports whether the resolver is in the loyalty set (subject to
+// retention at query time).
+func (l *Loyalty) Known(resolver string, now simtime.Time) bool {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	last, ok := l.seen[resolver]
+	return ok && now.Sub(last) <= l.Retention.Duration()
+}
+
+// Len reports the loyalty set size.
+func (l *Loyalty) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.seen)
+}
+
+// Score implements Filter.
+func (l *Loyalty) Score(q *Query) float64 {
+	l.mu.RLock()
+	active := l.active
+	last, ok := l.seen[q.Resolver]
+	l.mu.RUnlock()
+	if !active {
+		return 0
+	}
+	if ok && q.Now.Sub(last) <= l.Retention.Duration() {
+		return 0
+	}
+	l.Flagged.Add(1)
+	return l.Penalty
+}

@@ -1,0 +1,209 @@
+package filters
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"akamaidns/internal/dnswire"
+	"akamaidns/internal/simtime"
+)
+
+// ZoneInfo supplies the data the NXDOMAIN filter needs to build a
+// valid-hostname tree for a zone. The nameserver adapts its zone store to
+// this interface.
+type ZoneInfo interface {
+	// ValidNames returns every owner name in the zone (including empty
+	// non-terminals and wildcard owners).
+	ValidNames(zone dnswire.Name) []dnswire.Name
+	// CutPoints returns delegation points; anything at or below a cut is
+	// answered with a referral, never NXDOMAIN.
+	CutPoints(zone dnswire.Name) []dnswire.Name
+}
+
+// NXDomainMode selects the tree-building strategy.
+type NXDomainMode int
+
+const (
+	// PerHotZone builds a tree only for zones whose NXDOMAIN count crossed
+	// the threshold — the production design: the tree stays small and
+	// updates contend less (§4.3.4).
+	PerHotZone NXDomainMode = iota
+	// AllZones eagerly builds trees for every zone the filter hears about —
+	// the rejected alternative, kept for the ablation benchmark.
+	AllZones
+)
+
+// HostTree is the set of valid hostnames for one zone.
+type HostTree struct {
+	exact     map[dnswire.Name]bool
+	wildcards map[dnswire.Name]bool // parents covered by a "*" label
+	cuts      []dnswire.Name
+}
+
+// BuildHostTree constructs the tree from zone info.
+func BuildHostTree(zi ZoneInfo, zone dnswire.Name) *HostTree {
+	t := &HostTree{exact: make(map[dnswire.Name]bool), wildcards: make(map[dnswire.Name]bool)}
+	for _, n := range zi.ValidNames(zone) {
+		t.exact[n] = true
+		if n.IsWildcard() {
+			t.wildcards[n.Parent()] = true
+		}
+	}
+	t.cuts = zi.CutPoints(zone)
+	return t
+}
+
+// Size reports the number of exact names in the tree.
+func (t *HostTree) Size() int { return len(t.exact) }
+
+// Valid reports whether a query for name could be answered with something
+// other than NXDOMAIN.
+func (t *HostTree) Valid(name dnswire.Name) bool {
+	if t.exact[name] {
+		return true
+	}
+	// Below a delegation cut: referral, not NXDOMAIN.
+	for _, cut := range t.cuts {
+		if name.IsSubdomainOf(cut) {
+			return true
+		}
+	}
+	// Wildcard coverage: find the closest existing ancestor; the wildcard
+	// applies when "*.<ancestor>" exists.
+	for anc := name.Parent(); !anc.IsZero(); anc = anc.Parent() {
+		if t.exact[anc] {
+			return t.wildcards[anc]
+		}
+		if anc.IsRoot() {
+			break
+		}
+	}
+	return false
+}
+
+// NXDomain is the random-subdomain-attack filter of §4.3.4 (attack class
+// 3). It tracks NXDOMAIN responses per zone; once a zone crosses the
+// threshold, queries for names that cannot exist in that zone are
+// penalized. NXDOMAIN responses are rare in legitimate traffic (~0.5% of
+// responses), so false positives are few.
+type NXDomain struct {
+	source ZoneInfo
+	mode   NXDomainMode
+
+	// Threshold is the NXDOMAIN count within Window that makes a zone hot.
+	Threshold int
+	// Window is the counting window.
+	Window simtime.Time
+	// Penalty is the score for tree-missing names in hot zones.
+	Penalty float64
+
+	mu     sync.RWMutex
+	counts map[dnswire.Name]*nxWindow
+	trees  map[dnswire.Name]*HostTree
+
+	// Flagged counts penalized queries. TreeBuilds counts tree
+	// constructions (the ablation's contention proxy).
+	Flagged    atomic.Uint64
+	TreeBuilds atomic.Uint64
+}
+
+type nxWindow struct {
+	start simtime.Time
+	n     int
+}
+
+// NewNXDomain creates the filter over the given zone source.
+func NewNXDomain(source ZoneInfo, mode NXDomainMode) *NXDomain {
+	return &NXDomain{
+		source:    source,
+		mode:      mode,
+		Threshold: 100,
+		Window:    10 * simtime.Second,
+		Penalty:   PenaltyNXDomain,
+		counts:    make(map[dnswire.Name]*nxWindow),
+		trees:     make(map[dnswire.Name]*HostTree),
+	}
+}
+
+// Name implements Filter.
+func (f *NXDomain) Name() string { return "nxdomain" }
+
+// ObserveResponse feeds response outcomes back into the filter. The
+// nameserver calls this after answering; zone is the matched zone.
+func (f *NXDomain) ObserveResponse(zone dnswire.Name, nxdomain bool, now simtime.Time) {
+	if zone.IsZero() {
+		return
+	}
+	if f.mode == AllZones {
+		f.ensureTree(zone)
+	}
+	if !nxdomain {
+		return
+	}
+	f.mu.Lock()
+	w := f.counts[zone]
+	if w == nil || now.Sub(w.start) >= f.Window.Duration() {
+		w = &nxWindow{start: now}
+		f.counts[zone] = w
+	}
+	w.n++
+	hot := w.n >= f.Threshold
+	_, haveTree := f.trees[zone]
+	f.mu.Unlock()
+	if hot && !haveTree {
+		f.ensureTree(zone)
+	}
+}
+
+// ensureTree builds (once) the valid-hostname tree for a zone.
+func (f *NXDomain) ensureTree(zone dnswire.Name) {
+	f.mu.RLock()
+	_, ok := f.trees[zone]
+	f.mu.RUnlock()
+	if ok {
+		return
+	}
+	tree := BuildHostTree(f.source, zone)
+	f.TreeBuilds.Add(1)
+	f.mu.Lock()
+	if _, ok := f.trees[zone]; !ok {
+		f.trees[zone] = tree
+	}
+	f.mu.Unlock()
+}
+
+// Invalidate drops a zone's tree (call on zone updates).
+func (f *NXDomain) Invalidate(zone dnswire.Name) {
+	f.mu.Lock()
+	delete(f.trees, zone)
+	f.mu.Unlock()
+}
+
+// HotZones returns the zones that currently have an active tree.
+func (f *NXDomain) HotZones() []dnswire.Name {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make([]dnswire.Name, 0, len(f.trees))
+	for z := range f.trees {
+		out = append(out, z)
+	}
+	return out
+}
+
+// Score implements Filter. The query must carry its matched zone.
+func (f *NXDomain) Score(q *Query) float64 {
+	if q.Zone.IsZero() {
+		return 0
+	}
+	f.mu.RLock()
+	tree := f.trees[q.Zone]
+	f.mu.RUnlock()
+	if tree == nil {
+		return 0
+	}
+	if tree.Valid(q.Name) {
+		return 0
+	}
+	f.Flagged.Add(1)
+	return f.Penalty
+}

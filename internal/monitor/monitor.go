@@ -1,0 +1,297 @@
+// Package monitor implements §4.2's failure-resiliency machinery: the
+// on-machine monitoring agent that continually tests its nameserver and
+// triggers BGP withdrawal via self-suspension, and the Monitoring/Automated
+// Recovery coordinator that bounds concurrent suspensions with a
+// majority-vote consensus so widespread failures (or a buggy monitoring
+// agent) cannot withdraw the whole platform.
+package monitor
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"akamaidns/internal/simtime"
+)
+
+// Suspender is the slice of nameserver.Server the agent drives.
+type Suspender interface {
+	SetSuspended(now simtime.Time, suspended bool)
+	Suspended() bool
+	CheckStaleness(now simtime.Time) bool
+}
+
+// Probe is one health test: a DNS query for a hosted zone, a regression test
+// for a known failure case, etc. It returns nil when healthy.
+type Probe struct {
+	Name string
+	Run  func(now simtime.Time) error
+}
+
+// Coordinator is the consensus service bounding concurrent suspensions.
+// Suspension permission requires grants from a majority of replicas; each
+// replica grants only while its view of active suspensions is below the
+// global cap.
+type Coordinator struct {
+	mu       sync.Mutex
+	replicas []*replica
+	cap      int
+	// Protected agents may never self-suspend (§4.2.1: "preventing
+	// self-suspension on some nameservers").
+	protected map[string]bool
+	// Grants / Denials count decisions for instrumentation.
+	Grants, Denials uint64
+}
+
+type replica struct {
+	up     bool
+	active map[string]bool // agent IDs this replica believes are suspended
+}
+
+// NewCoordinator builds a coordinator with n replicas and the given cap on
+// concurrent suspensions.
+func NewCoordinator(nReplicas, cap int) *Coordinator {
+	if nReplicas < 1 {
+		panic("monitor: need at least one replica")
+	}
+	c := &Coordinator{cap: cap, protected: make(map[string]bool)}
+	for i := 0; i < nReplicas; i++ {
+		c.replicas = append(c.replicas, &replica{up: true, active: make(map[string]bool)})
+	}
+	return c
+}
+
+// Protect marks agents as never-suspendable.
+func (c *Coordinator) Protect(agentIDs ...string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, id := range agentIDs {
+		c.protected[id] = true
+	}
+}
+
+// SetReplicaUp changes a replica's availability (for failure injection).
+func (c *Coordinator) SetReplicaUp(i int, up bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.replicas[i].up = up
+}
+
+// RequestSuspend runs a consensus round asking to suspend agentID. It
+// reports whether a majority granted.
+func (c *Coordinator) RequestSuspend(agentID string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.protected[agentID] {
+		c.Denials++
+		return false
+	}
+	votes := 0
+	avail := 0
+	for _, r := range c.replicas {
+		if !r.up {
+			continue
+		}
+		avail++
+		if r.active[agentID] || len(r.active) < c.cap {
+			votes++
+		}
+	}
+	// Majority of ALL replicas (not just reachable ones): a partitioned
+	// minority cannot grant suspensions.
+	if votes*2 <= len(c.replicas) {
+		c.Denials++
+		return false
+	}
+	for _, r := range c.replicas {
+		if r.up {
+			r.active[agentID] = true
+		}
+	}
+	c.Grants++
+	return true
+}
+
+// Release frees agentID's suspension slot.
+func (c *Coordinator) Release(agentID string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, r := range c.replicas {
+		if r.up {
+			delete(r.active, agentID)
+		}
+	}
+}
+
+// ActiveSuspensions reports the maximum per-replica count (replicas can
+// diverge after failures; the max is the conservative view).
+func (c *Coordinator) ActiveSuspensions() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	max := 0
+	for _, r := range c.replicas {
+		if r.up && len(r.active) > max {
+			max = len(r.active)
+		}
+	}
+	return max
+}
+
+// AgentConfig tunes one monitoring agent.
+type AgentConfig struct {
+	ID string
+	// Interval between health-test sweeps.
+	Interval time.Duration
+	// FailThreshold consecutive failing sweeps trigger suspension.
+	FailThreshold int
+	// RecoverThreshold consecutive passing sweeps lift it.
+	RecoverThreshold int
+	// RestartDelay is the process restart time after a crash.
+	RestartDelay time.Duration
+}
+
+// DefaultAgentConfig returns production-flavoured timing.
+func DefaultAgentConfig(id string) AgentConfig {
+	return AgentConfig{
+		ID:               id,
+		Interval:         time.Second,
+		FailThreshold:    3,
+		RecoverThreshold: 5,
+		RestartDelay:     5 * time.Second,
+	}
+}
+
+// Agent is the on-machine monitoring agent of Figure 6.
+type Agent struct {
+	Cfg    AgentConfig
+	target Suspender
+	coord  *Coordinator
+	sched  *simtime.Scheduler
+	probes []Probe
+
+	mu          sync.Mutex
+	consecFail  int
+	consecOK    int
+	suspendedBy bool // we hold a suspension slot
+	ticker      *simtime.Ticker
+
+	// LastFailure records the most recent failing probe for the NOCC
+	// alert stream.
+	LastFailure string
+	// Sweeps counts health sweeps run.
+	Sweeps uint64
+}
+
+// NewAgent attaches an agent to its machine.
+func NewAgent(sched *simtime.Scheduler, cfg AgentConfig, target Suspender, coord *Coordinator) *Agent {
+	return &Agent{Cfg: cfg, target: target, coord: coord, sched: sched}
+}
+
+// AddProbe registers a health test.
+func (a *Agent) AddProbe(p Probe) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.probes = append(a.probes, p)
+}
+
+// Start begins periodic sweeps.
+func (a *Agent) Start() {
+	if a.ticker != nil {
+		return
+	}
+	a.ticker = a.sched.Every(a.Cfg.Interval, a.sweep)
+}
+
+// Stop halts sweeps.
+func (a *Agent) Stop() {
+	if a.ticker != nil {
+		a.ticker.Stop()
+		a.ticker = nil
+	}
+}
+
+// sweep runs the full test suite once.
+func (a *Agent) sweep(now simtime.Time) {
+	a.mu.Lock()
+	probes := append([]Probe(nil), a.probes...)
+	a.mu.Unlock()
+	a.Sweeps++
+
+	// Staleness is part of every sweep (§4.2.2); the target self-suspends
+	// internally when stale.
+	a.target.CheckStaleness(now)
+
+	var failure string
+	for _, p := range probes {
+		if err := p.Run(now); err != nil {
+			failure = fmt.Sprintf("%s: %v", p.Name, err)
+			break
+		}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if failure != "" {
+		a.LastFailure = failure
+		a.consecFail++
+		a.consecOK = 0
+		if a.consecFail >= a.Cfg.FailThreshold && !a.suspendedBy {
+			if a.coord == nil || a.coord.RequestSuspend(a.Cfg.ID) {
+				a.suspendedBy = true
+				a.target.SetSuspended(now, true)
+			}
+		}
+		return
+	}
+	a.consecOK++
+	a.consecFail = 0
+	if a.suspendedBy && a.consecOK >= a.Cfg.RecoverThreshold {
+		a.suspendedBy = false
+		a.target.SetSuspended(now, false)
+		if a.coord != nil {
+			a.coord.Release(a.Cfg.ID)
+		}
+	}
+}
+
+// OnCrash is wired to the nameserver's crash hook: the agent detects the
+// dead process, suspends immediately (no threshold), and schedules the
+// restart.
+func (a *Agent) OnCrash(now simtime.Time, sig string) {
+	a.mu.Lock()
+	a.LastFailure = "crash: " + sig
+	already := a.suspendedBy
+	if !already {
+		// Crashes bypass the consensus gate: a dead process cannot answer
+		// regardless; the coordinator is still informed so the cap tracks
+		// reality.
+		a.suspendedBy = true
+	}
+	a.mu.Unlock()
+	if !already {
+		if a.coord != nil {
+			a.coord.RequestSuspend(a.Cfg.ID) // best effort bookkeeping
+		}
+		a.target.SetSuspended(now, true)
+	}
+	a.sched.After(a.Cfg.RestartDelay, func(t simtime.Time) {
+		a.mu.Lock()
+		wasSuspended := a.suspendedBy
+		a.suspendedBy = false
+		a.consecFail = 0
+		a.consecOK = 0
+		a.mu.Unlock()
+		if wasSuspended {
+			a.target.SetSuspended(t, false)
+			if a.coord != nil {
+				a.coord.Release(a.Cfg.ID)
+			}
+		}
+	})
+}
+
+// HoldingSuspension reports whether the agent currently holds a slot.
+func (a *Agent) HoldingSuspension() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.suspendedBy
+}

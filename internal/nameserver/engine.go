@@ -1,0 +1,170 @@
+// Package nameserver implements the platform's authoritative nameserver
+// software (§3.1, §4.2, §4.3): the query-answering engine over a zone
+// store, the scoring pipeline and penalty queues, a compute/IO capacity
+// model, query-of-death containment, metadata staleness self-suspension,
+// and the health/metrics surface the monitoring agent consumes.
+package nameserver
+
+import (
+	"net/netip"
+	"strings"
+
+	"akamaidns/internal/dnswire"
+	"akamaidns/internal/zone"
+)
+
+// Tailorer lets the Mapping Intelligence rewrite address answers per
+// querying client (the CDN/GTM behaviour of §3.2: "Akamai DNS changes the
+// IP address returned for a hostname, in response to the query's source IP
+// address or EDNS-Client-Subnet option").
+type Tailorer interface {
+	// TailorA returns the addresses to serve for qname to the given client
+	// key, or nil to use the zone's static records. ttl applies when
+	// addresses are returned.
+	TailorA(qname dnswire.Name, clientKey string) (addrs []netip.Addr, ttl uint32, ok bool)
+}
+
+// Engine answers DNS queries from a zone store. It is pure protocol logic:
+// no capacity model, no filters. Both the event-driven simulation Server
+// and the real UDP/TCP server (cmd/authdns) build on it.
+type Engine struct {
+	Store *zone.Store
+	// Tailor is optional per-client answer rewriting.
+	Tailor Tailorer
+}
+
+// NewEngine wraps a store.
+func NewEngine(store *zone.Store) *Engine { return &Engine{Store: store} }
+
+// Answer produces the response for one query message. clientKey identifies
+// the querying resolver (or its ECS subnet when present) for answer
+// tailoring. The crashed return simulates the process dying mid-query
+// (§4.2.4): the caller must treat the response as never sent.
+func (e *Engine) Answer(q *dnswire.Message, clientKey string) (resp *dnswire.Message, matchedZone dnswire.Name, crashed bool) {
+	resp = dnswire.NewResponse(q)
+	if len(q.Questions) != 1 || q.OpCode != dnswire.OpQuery {
+		resp.RCode = dnswire.RCodeFormErr
+		return resp, dnswire.Name{}, false
+	}
+	question := q.Questions[0]
+	if question.Class != dnswire.ClassINET && question.Class != dnswire.ClassANY {
+		resp.RCode = dnswire.RCodeRefused
+		return resp, dnswire.Name{}, false
+	}
+	// Echo EDNS.
+	if opt := q.OPT(); opt != nil {
+		resp.Additional = append(resp.Additional, dnswire.NewOPT(1232))
+		if ecs, ok := opt.ClientSubnet(); ok {
+			// Prefer the ECS prefix as the tailoring key (end-user mapping).
+			clientKey = ecsKey(ecs)
+			ro := resp.OPT()
+			ecs.ScopePrefix = ecs.SourcePrefix
+			_ = ro.SetClientSubnet(ecs)
+		}
+	}
+	// The crash trap: a corner-case in complex query-processing code paths
+	// (§4.2.4). Fault-injection tests and attack generators set this label.
+	if strings.Contains(question.Name.String(), dnswire.QoDMarkerLabel) {
+		return nil, dnswire.Name{}, true
+	}
+	z := e.Store.Find(question.Name)
+	if z == nil {
+		resp.RCode = dnswire.RCodeRefused
+		return resp, dnswire.Name{}, false
+	}
+	matchedZone = z.Origin()
+	resp.Authoritative = true
+	ans := z.Lookup(question.Name, question.Type)
+	switch ans.Result {
+	case zone.Success:
+		resp.Answers = ans.Answer
+		e.applyTailoring(resp, question, clientKey)
+	case zone.Delegation:
+		resp.Authoritative = false
+		resp.Authority = ans.NS
+		resp.Additional = append(ans.Glue, resp.Additional...)
+	case zone.NXDomain:
+		resp.RCode = dnswire.RCodeNXDomain
+		if ans.SOA != nil {
+			resp.Authority = []dnswire.RR{ans.SOA}
+		}
+	case zone.NoData:
+		if ans.SOA != nil {
+			resp.Authority = []dnswire.RR{ans.SOA}
+		}
+	}
+	return resp, matchedZone, false
+}
+
+// applyTailoring replaces terminal A answers via the Tailorer when it has an
+// opinion about the final owner name of the answer chain.
+func (e *Engine) applyTailoring(resp *dnswire.Message, q dnswire.Question, clientKey string) {
+	if e.Tailor == nil || (q.Type != dnswire.TypeA && q.Type != dnswire.TypeANY) {
+		return
+	}
+	// The final owner: follow any CNAMEs in the answer.
+	owner := q.Name
+	for _, rr := range resp.Answers {
+		if cn, ok := rr.(*dnswire.CNAME); ok && cn.Name == owner {
+			owner = cn.Target
+		}
+	}
+	addrs, ttl, ok := e.Tailor.TailorA(owner, clientKey)
+	if !ok {
+		return
+	}
+	// Drop existing terminal A records, keep the CNAME chain.
+	kept := resp.Answers[:0]
+	for _, rr := range resp.Answers {
+		if a, isA := rr.(*dnswire.A); isA && a.Name == owner {
+			continue
+		}
+		kept = append(kept, rr)
+	}
+	for _, addr := range addrs {
+		kept = append(kept, &dnswire.A{
+			RRHeader: dnswire.RRHeader{Name: owner, Type: dnswire.TypeA, Class: dnswire.ClassINET, TTL: ttl},
+			Addr:     addr,
+		})
+	}
+	resp.Answers = kept
+}
+
+func ecsKey(e dnswire.ECS) string {
+	return e.Addr.String() + "/" + itoa(int(e.SourcePrefix))
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [4]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+// StoreZoneInfo adapts a zone.Store to the filters.ZoneInfo interface.
+type StoreZoneInfo struct{ Store *zone.Store }
+
+// ValidNames implements filters.ZoneInfo.
+func (s StoreZoneInfo) ValidNames(zn dnswire.Name) []dnswire.Name {
+	z := s.Store.Get(zn)
+	if z == nil {
+		return nil
+	}
+	return z.Names()
+}
+
+// CutPoints implements filters.ZoneInfo.
+func (s StoreZoneInfo) CutPoints(zn dnswire.Name) []dnswire.Name {
+	z := s.Store.Get(zn)
+	if z == nil {
+		return nil
+	}
+	return z.Cuts()
+}

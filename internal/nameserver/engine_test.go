@@ -1,0 +1,236 @@
+package nameserver
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"akamaidns/internal/dnswire"
+	"akamaidns/internal/zone"
+)
+
+func n(s string) dnswire.Name { return dnswire.MustName(s) }
+
+const testZone = `
+$ORIGIN ex.com.
+$TTL 300
+@    IN SOA ns1 host ( 1 3600 600 604800 30 )
+@    IN NS ns1
+ns1  IN A 198.51.100.1
+www  IN A 192.0.2.1
+cdn  IN CNAME www.edge.ex.com.
+www.edge IN A 192.0.2.77
+sub  IN NS ns1.sub
+ns1.sub IN A 192.0.2.53
+`
+
+func testStore(t *testing.T) *zone.Store {
+	t.Helper()
+	st := zone.NewStore()
+	st.Put(zone.MustParseMaster(testZone, n("ex.com")))
+	return st
+}
+
+func TestEngineAnswerSuccess(t *testing.T) {
+	e := NewEngine(testStore(t))
+	q := dnswire.NewQuery(1, n("www.ex.com"), dnswire.TypeA)
+	resp, zn, crashed := e.Answer(q, "r1")
+	if crashed {
+		t.Fatal("crashed")
+	}
+	if zn != n("ex.com") {
+		t.Fatalf("zone = %v", zn)
+	}
+	if !resp.Authoritative || resp.RCode != dnswire.RCodeNoError || len(resp.Answers) != 1 {
+		t.Fatalf("resp = %v", resp)
+	}
+}
+
+func TestEngineAnswerNXDomain(t *testing.T) {
+	e := NewEngine(testStore(t))
+	q := dnswire.NewQuery(2, n("junk.ex.com"), dnswire.TypeA)
+	resp, _, _ := e.Answer(q, "r1")
+	if resp.RCode != dnswire.RCodeNXDomain {
+		t.Fatalf("rcode = %v", resp.RCode)
+	}
+	if len(resp.Authority) != 1 {
+		t.Fatal("negative answer missing SOA")
+	}
+}
+
+func TestEngineAnswerDelegation(t *testing.T) {
+	e := NewEngine(testStore(t))
+	q := dnswire.NewQuery(3, n("host.sub.ex.com"), dnswire.TypeA)
+	resp, _, _ := e.Answer(q, "r1")
+	if resp.Authoritative {
+		t.Fatal("referral marked authoritative")
+	}
+	if len(resp.Authority) != 1 || len(resp.Additional) != 1 {
+		t.Fatalf("referral sections: %d/%d", len(resp.Authority), len(resp.Additional))
+	}
+}
+
+func TestEngineRefusesForeign(t *testing.T) {
+	e := NewEngine(testStore(t))
+	q := dnswire.NewQuery(4, n("www.other.net"), dnswire.TypeA)
+	resp, zn, _ := e.Answer(q, "r1")
+	if resp.RCode != dnswire.RCodeRefused || !zn.IsZero() {
+		t.Fatalf("rcode = %v zone = %v", resp.RCode, zn)
+	}
+}
+
+func TestEngineFormErr(t *testing.T) {
+	e := NewEngine(testStore(t))
+	q := dnswire.NewQuery(5, n("www.ex.com"), dnswire.TypeA)
+	q.Questions = nil
+	resp, _, _ := e.Answer(q, "r1")
+	if resp.RCode != dnswire.RCodeFormErr {
+		t.Fatalf("rcode = %v", resp.RCode)
+	}
+	q2 := dnswire.NewQuery(6, n("www.ex.com"), dnswire.TypeA)
+	q2.OpCode = dnswire.OpUpdate
+	resp2, _, _ := e.Answer(q2, "r1")
+	if resp2.RCode != dnswire.RCodeFormErr {
+		t.Fatalf("non-query opcode rcode = %v", resp2.RCode)
+	}
+}
+
+func TestEngineQoDTrap(t *testing.T) {
+	e := NewEngine(testStore(t))
+	q := dnswire.NewQuery(7, n(dnswire.QoDMarkerLabel+".ex.com"), dnswire.TypeA)
+	_, _, crashed := e.Answer(q, "r1")
+	if !crashed {
+		t.Fatal("QoD trap did not fire")
+	}
+}
+
+func TestEngineEDNSEcho(t *testing.T) {
+	e := NewEngine(testStore(t))
+	q := dnswire.NewQuery(8, n("www.ex.com"), dnswire.TypeA)
+	opt := dnswire.NewOPT(4096)
+	ecs := dnswire.ECS{Family: 1, SourcePrefix: 24, Addr: netip.MustParseAddr("203.0.113.0")}
+	if err := opt.SetClientSubnet(ecs); err != nil {
+		t.Fatal(err)
+	}
+	q.Additional = append(q.Additional, opt)
+	resp, _, _ := e.Answer(q, "r1")
+	ro := resp.OPT()
+	if ro == nil {
+		t.Fatal("response missing OPT")
+	}
+	re, ok := ro.ClientSubnet()
+	if !ok || re.ScopePrefix != 24 {
+		t.Fatalf("response ECS = %+v ok=%v", re, ok)
+	}
+}
+
+// fixedTailor always returns one address for a specific name.
+type fixedTailor struct {
+	name  dnswire.Name
+	addr  netip.Addr
+	byKey map[string]netip.Addr
+}
+
+func (f *fixedTailor) TailorA(qname dnswire.Name, clientKey string) ([]netip.Addr, uint32, bool) {
+	if qname != f.name {
+		return nil, 0, false
+	}
+	if f.byKey != nil {
+		if a, ok := f.byKey[clientKey]; ok {
+			return []netip.Addr{a}, 20, true
+		}
+	}
+	return []netip.Addr{f.addr}, 20, true
+}
+
+func TestEngineTailoring(t *testing.T) {
+	e := NewEngine(testStore(t))
+	e.Tailor = &fixedTailor{name: n("www.ex.com"), addr: netip.MustParseAddr("198.51.100.99")}
+	q := dnswire.NewQuery(9, n("www.ex.com"), dnswire.TypeA)
+	resp, _, _ := e.Answer(q, "r1")
+	if len(resp.Answers) != 1 {
+		t.Fatalf("answers = %d", len(resp.Answers))
+	}
+	a := resp.Answers[0].(*dnswire.A)
+	if a.Addr != netip.MustParseAddr("198.51.100.99") || a.TTL != 20 {
+		t.Fatalf("tailored answer = %v", a)
+	}
+}
+
+func TestEngineTailoringFollowsCNAME(t *testing.T) {
+	e := NewEngine(testStore(t))
+	e.Tailor = &fixedTailor{name: n("www.edge.ex.com"), addr: netip.MustParseAddr("198.51.100.42")}
+	q := dnswire.NewQuery(10, n("cdn.ex.com"), dnswire.TypeA)
+	resp, _, _ := e.Answer(q, "r1")
+	// CNAME kept, A replaced.
+	var sawCNAME bool
+	var addr netip.Addr
+	for _, rr := range resp.Answers {
+		switch v := rr.(type) {
+		case *dnswire.CNAME:
+			sawCNAME = true
+		case *dnswire.A:
+			addr = v.Addr
+		}
+	}
+	if !sawCNAME || addr != netip.MustParseAddr("198.51.100.42") {
+		t.Fatalf("chain answers = %v", resp.Answers)
+	}
+}
+
+func TestEngineTailoringECSKey(t *testing.T) {
+	e := NewEngine(testStore(t))
+	ft := &fixedTailor{
+		name: n("www.ex.com"),
+		addr: netip.MustParseAddr("198.51.100.1"),
+		byKey: map[string]netip.Addr{
+			"203.0.113.0/24": netip.MustParseAddr("198.51.100.2"),
+		},
+	}
+	e.Tailor = ft
+	q := dnswire.NewQuery(11, n("www.ex.com"), dnswire.TypeA)
+	opt := dnswire.NewOPT(4096)
+	opt.SetClientSubnet(dnswire.ECS{Family: 1, SourcePrefix: 24, Addr: netip.MustParseAddr("203.0.113.0")})
+	q.Additional = append(q.Additional, opt)
+	resp, _, _ := e.Answer(q, "resolver-far-away")
+	a := findA(resp)
+	if a == nil || a.Addr != netip.MustParseAddr("198.51.100.2") {
+		t.Fatalf("ECS-keyed answer = %v", a)
+	}
+}
+
+func findA(m *dnswire.Message) *dnswire.A {
+	for _, rr := range m.Answers {
+		if a, ok := rr.(*dnswire.A); ok {
+			return a
+		}
+	}
+	return nil
+}
+
+func TestStoreZoneInfoAdapter(t *testing.T) {
+	st := testStore(t)
+	zi := StoreZoneInfo{Store: st}
+	names := zi.ValidNames(n("ex.com"))
+	if len(names) == 0 {
+		t.Fatal("no names")
+	}
+	cuts := zi.CutPoints(n("ex.com"))
+	if len(cuts) != 1 || cuts[0] != n("sub.ex.com") {
+		t.Fatalf("cuts = %v", cuts)
+	}
+	if zi.ValidNames(n("missing.zone")) != nil || zi.CutPoints(n("missing.zone")) != nil {
+		t.Fatal("missing zone returned data")
+	}
+}
+
+func TestQoDSignature(t *testing.T) {
+	sig := qodSignature(n("x" + dnswire.QoDMarkerLabel + "y.ex.com"))
+	if !strings.HasPrefix(sig, dnswire.QoDMarkerLabel+".") {
+		t.Fatalf("sig = %q", sig)
+	}
+	plain := qodSignature(n("www.ex.com"))
+	if plain != "www.ex.com." {
+		t.Fatalf("plain sig = %q", plain)
+	}
+}

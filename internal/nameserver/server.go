@@ -1,0 +1,428 @@
+package nameserver
+
+import (
+	"strings"
+	"sync"
+	"time"
+
+	"akamaidns/internal/dnswire"
+	"akamaidns/internal/filters"
+	"akamaidns/internal/pubsub"
+	"akamaidns/internal/queue"
+	"akamaidns/internal/simtime"
+)
+
+// Config tunes one simulated nameserver machine.
+type Config struct {
+	// ID names the machine in metrics and health reports.
+	ID string
+	// ComputeQPS is the answering capacity (queries/second) — the resource
+	// that saturates first for application-layer attacks (§4.3.4).
+	ComputeQPS float64
+	// IOQPS is the socket-read capacity; beyond it queries drop below the
+	// application (region A > A2 of Figure 10).
+	IOQPS float64
+	// IOBurst sizes the socket buffer in seconds of IOQPS.
+	IOBurst float64
+	// Queues configures the penalty ladder.
+	Queues queue.Config
+	// QoDFirewall enables §4.2.4 containment (deployed on a subset of
+	// nameservers in production).
+	QoDFirewall bool
+	// TQoD expunges QoD firewall rules so false positives are retried.
+	TQoD time.Duration
+	// StaleAfter is the metadata staleness threshold that triggers
+	// self-suspension; zero disables the check.
+	StaleAfter time.Duration
+	// NoStalenessSuspend marks input-delayed nameservers, which never
+	// self-suspend due to input staleness (§4.2.3).
+	NoStalenessSuspend bool
+}
+
+// DefaultConfig returns a modestly-sized machine.
+func DefaultConfig(id string) Config {
+	return Config{
+		ID:         id,
+		ComputeQPS: 50_000,
+		IOQPS:      250_000,
+		IOBurst:    0.05,
+		Queues:     queue.DefaultConfig(),
+		TQoD:       10 * time.Minute,
+		StaleAfter: 30 * time.Second,
+	}
+}
+
+// Request is one in-flight query in the simulation.
+type Request struct {
+	Resolver string
+	ASN      int
+	IPTTL    int
+	Msg      *dnswire.Message
+	// Legit is ground truth for experiments (never visible to filters).
+	Legit bool
+	// Respond receives the response; nil responses indicate a drop or
+	// crash (the resolver would time out).
+	Respond func(now simtime.Time, resp *dnswire.Message)
+}
+
+// Metrics counts server activity.
+type Metrics struct {
+	Received      uint64
+	IODropped     uint64
+	Discarded     uint64 // score >= Smax
+	TailDropped   uint64
+	Answered      uint64
+	AnsweredLegit uint64
+	ReceivedLegit uint64
+	NXDomain      uint64
+	Crashes       uint64
+	QoDBlocked    uint64
+	Suspensions   uint64
+}
+
+// Server is one simulated nameserver machine: IO admission, scoring,
+// penalty queues, a compute pump, QoD containment, staleness tracking.
+type Server struct {
+	Cfg      Config
+	Engine   *Engine
+	Pipeline *filters.Pipeline
+	// NX receives response feedback when set.
+	NX *filters.NXDomain
+	// Loyalty learns accepted resolvers when set.
+	Loyalty *filters.Loyalty
+
+	sched  *simtime.Scheduler
+	queues queue.Interface
+
+	mu        sync.Mutex
+	suspended bool
+	// staleSuspended marks a suspension caused by input staleness; it is
+	// lifted automatically once fresh inputs arrive (§4.2.2: the
+	// nameserver has stale state "for a brief period until catching up").
+	staleSuspended bool
+	// ioLevel/ioLast implement the socket leaky bucket.
+	ioLevel float64
+	ioLast  simtime.Time
+	// pumpBusy marks an armed compute event.
+	pumpBusy bool
+	// qodRules maps blocked signatures to expiry.
+	qodRules map[string]simtime.Time
+	// lastInput per metadata topic for staleness checks.
+	lastInput map[pubsub.Topic]simtime.Time
+	// zoneCounts attributes answered queries to zones for the Data
+	// Collection/Aggregation reports (§3.2).
+	zoneCounts map[dnswire.Name]uint64
+
+	// OnCrash is invoked (post-restart bookkeeping) when a QoD kills the
+	// process; the monitoring agent hooks this.
+	OnCrash func(now simtime.Time, sig string)
+	// OnSuspendChange observes suspension transitions; the BGP speaker
+	// hooks this to withdraw/re-advertise.
+	OnSuspendChange func(now simtime.Time, suspended bool)
+
+	Metrics Metrics
+}
+
+// NewServer builds a simulated machine over the engine.
+func NewServer(sched *simtime.Scheduler, cfg Config, eng *Engine, pipe *filters.Pipeline) *Server {
+	var q queue.Interface
+	qq, err := queue.New(cfg.Queues)
+	if err != nil {
+		panic(err)
+	}
+	q = qq
+	return &Server{
+		Cfg: cfg, Engine: eng, Pipeline: pipe, sched: sched, queues: q,
+		qodRules:   make(map[string]simtime.Time),
+		lastInput:  make(map[pubsub.Topic]simtime.Time),
+		zoneCounts: make(map[dnswire.Name]uint64),
+	}
+}
+
+// UseFIFO swaps the penalty ladder for a single FIFO queue (the Figure 10
+// "w/o filter" ablation). Must be called before traffic starts.
+func (s *Server) UseFIFO() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := s.Cfg.Queues.Capacity * len(s.Cfg.Queues.MaxScores)
+	s.queues = queue.NewFIFO(total)
+}
+
+// Queues exposes queue statistics.
+func (s *Server) Queues() queue.Stats { return s.queues.Stats() }
+
+// Suspended reports whether the machine has withdrawn itself.
+func (s *Server) Suspended() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.suspended
+}
+
+// SetSuspended transitions suspension state, notifying the hook on change.
+// Suspension drains pending queries (the resolver retries elsewhere).
+func (s *Server) SetSuspended(now simtime.Time, suspended bool) {
+	s.mu.Lock()
+	if s.suspended == suspended {
+		s.mu.Unlock()
+		return
+	}
+	s.suspended = suspended
+	if suspended {
+		s.Metrics.Suspensions++
+	}
+	hook := s.OnSuspendChange
+	s.mu.Unlock()
+	if suspended {
+		s.queues.Drain()
+	}
+	if hook != nil {
+		hook(now, suspended)
+	}
+}
+
+// RecordInput notes metadata arrival on a topic (wired to pubsub
+// subscriptions).
+func (s *Server) RecordInput(topic pubsub.Topic, now simtime.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lastInput[topic] = now
+}
+
+// InputAge reports how stale a topic's metadata is.
+func (s *Server) InputAge(topic pubsub.Topic, now simtime.Time) (time.Duration, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.lastInput[topic]
+	if !ok {
+		return 0, false
+	}
+	return now.Sub(t), true
+}
+
+// CheckStaleness implements §4.2.2: if any tracked critical input is older
+// than the threshold the machine self-suspends. Input-delayed nameservers
+// never do. It reports whether the server is (now) suspended by staleness.
+func (s *Server) CheckStaleness(now simtime.Time) bool {
+	if s.Cfg.NoStalenessSuspend || s.Cfg.StaleAfter == 0 {
+		return false
+	}
+	s.mu.Lock()
+	stale := false
+	for _, t := range s.lastInput {
+		if now.Sub(t) > s.Cfg.StaleAfter {
+			stale = true
+			break
+		}
+	}
+	wasStaleSuspended := s.staleSuspended
+	s.staleSuspended = stale
+	s.mu.Unlock()
+	if stale {
+		s.SetSuspended(now, true)
+	} else if wasStaleSuspended {
+		// Inputs caught up: lift the staleness suspension.
+		s.SetSuspended(now, false)
+	}
+	return stale
+}
+
+// qodSignature reduces a query to the signature the firewall rule matches.
+// The production system writes the crashing payload to disk and a separate
+// process derives a rule; here the signature is the label that triggered
+// the trap plus the zone tail, so "similar" queries are blocked while
+// dissimilar ones flow.
+func qodSignature(name dnswire.Name) string {
+	labels := name.Labels()
+	for _, l := range labels {
+		if strings.Contains(l, dnswire.QoDMarkerLabel) {
+			return dnswire.QoDMarkerLabel + "." + name.Parent().String()
+		}
+	}
+	return name.String()
+}
+
+// qodBlocked reports whether an active firewall rule matches the name.
+func (s *Server) qodBlocked(name dnswire.Name, now simtime.Time) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sig := qodSignature(name)
+	exp, ok := s.qodRules[sig]
+	if !ok {
+		return false
+	}
+	if now > exp {
+		delete(s.qodRules, sig) // rule expunged after TQoD
+		return false
+	}
+	return true
+}
+
+// Receive is the ingress path: IO admission, QoD firewall, scoring, and
+// enqueueing. Processing happens asynchronously at ComputeQPS.
+func (s *Server) Receive(now simtime.Time, req *Request) {
+	s.mu.Lock()
+	if s.suspended {
+		s.mu.Unlock()
+		return // withdrawn: router no longer delivers, packet goes elsewhere
+	}
+	s.Metrics.Received++
+	if req.Legit {
+		s.Metrics.ReceivedLegit++
+	}
+	// Socket leaky bucket.
+	if s.Cfg.IOQPS > 0 {
+		elapsed := now.Sub(s.ioLast).Seconds()
+		if elapsed > 0 {
+			s.ioLevel -= elapsed * s.Cfg.IOQPS
+			if s.ioLevel < 0 {
+				s.ioLevel = 0
+			}
+			s.ioLast = now
+		}
+		s.ioLevel++
+		if s.ioLevel > s.Cfg.IOQPS*s.Cfg.IOBurst {
+			s.ioLevel = s.Cfg.IOQPS * s.Cfg.IOBurst
+			s.Metrics.IODropped++
+			s.mu.Unlock()
+			return
+		}
+	}
+	s.mu.Unlock()
+
+	if len(req.Msg.Questions) == 1 {
+		qname := req.Msg.Questions[0].Name
+		if s.Cfg.QoDFirewall && s.qodBlocked(qname, now) {
+			s.mu.Lock()
+			s.Metrics.QoDBlocked++
+			s.mu.Unlock()
+			return
+		}
+	}
+
+	score := 0.0
+	if s.Pipeline != nil && len(req.Msg.Questions) == 1 {
+		fq := &filters.Query{
+			Resolver: req.Resolver,
+			ASN:      req.ASN,
+			Name:     req.Msg.Questions[0].Name,
+			Type:     req.Msg.Questions[0].Type,
+			IPTTL:    req.IPTTL,
+			Now:      now,
+		}
+		if z := s.Engine.Store.Find(fq.Name); z != nil {
+			fq.Zone = z.Origin()
+		}
+		score, _ = s.Pipeline.Score(fq)
+	}
+	switch s.queues.Enqueue(score, req) {
+	case queue.Discarded:
+		s.mu.Lock()
+		s.Metrics.Discarded++
+		s.mu.Unlock()
+		return
+	case queue.TailDropped:
+		s.mu.Lock()
+		s.Metrics.TailDropped++
+		s.mu.Unlock()
+		return
+	}
+	s.pump(now)
+}
+
+// pump arms the compute loop: one query processed every 1/ComputeQPS.
+func (s *Server) pump(now simtime.Time) {
+	s.mu.Lock()
+	if s.pumpBusy || s.suspended {
+		s.mu.Unlock()
+		return
+	}
+	s.pumpBusy = true
+	s.mu.Unlock()
+	interval := time.Duration(float64(time.Second) / s.Cfg.ComputeQPS)
+	s.sched.After(interval, func(t simtime.Time) { s.processOne(t) })
+}
+
+func (s *Server) processOne(now simtime.Time) {
+	s.mu.Lock()
+	s.pumpBusy = false
+	suspended := s.suspended
+	s.mu.Unlock()
+	if suspended {
+		return
+	}
+	it, ok := s.queues.Dequeue()
+	if !ok {
+		return
+	}
+	req := it.Payload.(*Request)
+	resp, matchedZone, crashed := s.Engine.Answer(req.Msg, req.Resolver)
+	if crashed {
+		s.crash(now, req)
+	} else {
+		s.mu.Lock()
+		s.Metrics.Answered++
+		if req.Legit {
+			s.Metrics.AnsweredLegit++
+		}
+		nx := resp.RCode == dnswire.RCodeNXDomain
+		if nx {
+			s.Metrics.NXDomain++
+		}
+		if !matchedZone.IsZero() {
+			s.zoneCounts[matchedZone]++
+		}
+		s.mu.Unlock()
+		if s.NX != nil {
+			s.NX.ObserveResponse(matchedZone, nx, now)
+		}
+		if s.Loyalty != nil {
+			s.Loyalty.Observe(req.Resolver, now)
+		}
+		if req.Respond != nil {
+			req.Respond(now, resp)
+		}
+	}
+	// Keep draining while work remains.
+	if s.queues.Len() > 0 {
+		s.pump(now)
+	}
+}
+
+// crash models a QoD kill: pending queries are lost, the monitoring agent
+// is notified, and (when enabled) a firewall rule blocks similar queries
+// for TQoD.
+func (s *Server) crash(now simtime.Time, req *Request) {
+	sig := ""
+	if len(req.Msg.Questions) == 1 {
+		sig = qodSignature(req.Msg.Questions[0].Name)
+	}
+	s.mu.Lock()
+	s.Metrics.Crashes++
+	if s.Cfg.QoDFirewall && sig != "" {
+		s.qodRules[sig] = now.Add(s.Cfg.TQoD)
+	}
+	hook := s.OnCrash
+	s.mu.Unlock()
+	s.queues.Drain() // in-flight queries die with the process
+	if hook != nil {
+		hook(now, sig)
+	}
+}
+
+// ZoneCounts returns a snapshot of per-zone answered-query attribution.
+func (s *Server) ZoneCounts() map[dnswire.Name]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[dnswire.Name]uint64, len(s.zoneCounts))
+	for z, n := range s.zoneCounts {
+		out[z] = n
+	}
+	return out
+}
+
+// Snapshot returns a copy of the metrics.
+func (s *Server) Snapshot() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Metrics
+}

@@ -1,0 +1,309 @@
+package nameserver
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"akamaidns/internal/dnswire"
+	"akamaidns/internal/filters"
+	"akamaidns/internal/pubsub"
+	"akamaidns/internal/simtime"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*simtime.Scheduler, *Server) {
+	t.Helper()
+	sched := simtime.NewScheduler()
+	eng := NewEngine(testStore(t))
+	srv := NewServer(sched, cfg, eng, nil)
+	return sched, srv
+}
+
+func mkReq(resolver, qname string, legit bool, onResp func(simtime.Time, *dnswire.Message)) *Request {
+	return &Request{
+		Resolver: resolver,
+		IPTTL:    56,
+		Msg:      dnswire.NewQuery(1, dnswire.MustName(qname), dnswire.TypeA),
+		Legit:    legit,
+		Respond:  onResp,
+	}
+}
+
+func TestServerAnswersWithinCapacity(t *testing.T) {
+	cfg := DefaultConfig("m1")
+	cfg.ComputeQPS = 1000
+	sched, srv := newTestServer(t, cfg)
+	answered := 0
+	for i := 0; i < 100; i++ {
+		i := i
+		sched.At(simtime.Time(i)*10*simtime.Millisecond, func(now simtime.Time) {
+			srv.Receive(now, mkReq("r1", "www.ex.com", true, func(simtime.Time, *dnswire.Message) {
+				answered++
+			}))
+		})
+	}
+	sched.Run()
+	if answered != 100 {
+		t.Fatalf("answered %d/100", answered)
+	}
+	m := srv.Snapshot()
+	if m.Received != 100 || m.Answered != 100 || m.AnsweredLegit != 100 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestServerComputeSaturation(t *testing.T) {
+	cfg := DefaultConfig("m1")
+	cfg.ComputeQPS = 100 // can answer 100/sec
+	cfg.IOQPS = 1e9
+	cfg.Queues.Capacity = 50
+	sched, srv := newTestServer(t, cfg)
+	answered := 0
+	// Offer 1000 queries over one second: only ~100 can be served, rest
+	// tail-drop once queues fill.
+	for i := 0; i < 1000; i++ {
+		i := i
+		sched.At(simtime.Time(i)*simtime.Millisecond, func(now simtime.Time) {
+			srv.Receive(now, mkReq("r1", "www.ex.com", true, func(simtime.Time, *dnswire.Message) {
+				answered++
+			}))
+		})
+	}
+	sched.RunFor(10 * time.Second)
+	m := srv.Snapshot()
+	if m.TailDropped == 0 {
+		t.Fatalf("no tail drops under 10x overload: %+v", m)
+	}
+	// ~100 served during the offered second plus the ~50-deep queue
+	// backlog drained afterwards.
+	if answered < 120 || answered > 300 {
+		t.Fatalf("answered %d, want ~150 (capacity-bound)", answered)
+	}
+}
+
+func TestServerIODrop(t *testing.T) {
+	cfg := DefaultConfig("m1")
+	cfg.IOQPS = 100
+	cfg.IOBurst = 0.1 // bucket of 10
+	sched, srv := newTestServer(t, cfg)
+	// 1000 arrivals in one instant: bucket admits ~10.
+	for i := 0; i < 1000; i++ {
+		srv.Receive(sched.Now(), mkReq("r1", "www.ex.com", true, nil))
+	}
+	m := srv.Snapshot()
+	if m.IODropped < 900 {
+		t.Fatalf("IODropped = %d, want ~990", m.IODropped)
+	}
+}
+
+func TestServerScoringDiscards(t *testing.T) {
+	al := filters.NewAllowlist()
+	al.SetActive(true)
+	lo := filters.NewLoyalty()
+	lo.SetActive(true)
+	hc := filters.NewHopCount()
+	hc.SetActive(true)
+	hc.Learn("spoofer", 40)
+	rl := filters.NewRateLimit()
+	rl.Learn("spoofer", 0.0001)
+	pipe := filters.NewPipeline(rl, al, hc, lo)
+	cfg := DefaultConfig("m1")
+	cfg.Queues.Smax = 100 // rate(40)+allow(30)+hop(50)+loyal(20) = 140 >= 100
+	cfg.Queues.MaxScores = []float64{0, 99}
+	sched := simtime.NewScheduler()
+	srv := NewServer(sched, cfg, NewEngine(testStore(t)), pipe)
+	req := mkReq("spoofer", "www.ex.com", false, nil)
+	req.IPTTL = 10 // far from learned 40
+	// Two queries: the second trips the rate limiter (limit ~0) and with
+	// hopcount+allowlist exceeds Smax.
+	srv.Receive(0, req)
+	srv.Receive(0, mkReqTTL("spoofer", "www.ex.com", 10))
+	sched.Run()
+	m := srv.Snapshot()
+	if m.Discarded == 0 {
+		t.Fatalf("no discards: %+v", m)
+	}
+}
+
+func mkReqTTL(resolver, qname string, ttl int) *Request {
+	r := mkReq(resolver, qname, false, nil)
+	r.IPTTL = ttl
+	return r
+}
+
+func TestServerSuspension(t *testing.T) {
+	cfg := DefaultConfig("m1")
+	sched, srv := newTestServer(t, cfg)
+	var transitions []bool
+	srv.OnSuspendChange = func(_ simtime.Time, s bool) { transitions = append(transitions, s) }
+	srv.SetSuspended(0, true)
+	srv.SetSuspended(0, true) // no duplicate event
+	srv.Receive(0, mkReq("r1", "www.ex.com", true, nil))
+	sched.Run()
+	if srv.Snapshot().Received != 0 {
+		t.Fatal("suspended server accepted a query")
+	}
+	srv.SetSuspended(0, false)
+	srv.Receive(0, mkReq("r1", "www.ex.com", true, nil))
+	sched.Run()
+	if srv.Snapshot().Answered != 1 {
+		t.Fatal("resumed server did not answer")
+	}
+	if len(transitions) != 2 || transitions[0] != true || transitions[1] != false {
+		t.Fatalf("transitions = %v", transitions)
+	}
+	if srv.Snapshot().Suspensions != 1 {
+		t.Fatalf("Suspensions = %d", srv.Snapshot().Suspensions)
+	}
+}
+
+func TestServerStaleness(t *testing.T) {
+	cfg := DefaultConfig("m1")
+	cfg.StaleAfter = 10 * time.Second
+	sched, srv := newTestServer(t, cfg)
+	srv.RecordInput("mapping", 0)
+	if srv.CheckStaleness(5 * simtime.Second) {
+		t.Fatal("fresh input flagged stale")
+	}
+	if !srv.CheckStaleness(holdTime(11)) {
+		t.Fatal("stale input not flagged")
+	}
+	if !srv.Suspended() {
+		t.Fatal("staleness did not suspend")
+	}
+	if age, ok := srv.InputAge("mapping", holdTime(11)); !ok || age != 11*time.Second {
+		t.Fatalf("InputAge = %v/%v", age, ok)
+	}
+	_ = sched
+}
+
+func holdTime(sec int) simtime.Time { return simtime.Time(sec) * simtime.Second }
+
+func TestServerInputDelayedNeverStaleSuspends(t *testing.T) {
+	cfg := DefaultConfig("m1")
+	cfg.StaleAfter = 10 * time.Second
+	cfg.NoStalenessSuspend = true
+	_, srv := newTestServer(t, cfg)
+	srv.RecordInput("mapping", 0)
+	if srv.CheckStaleness(holdTime(3600)) {
+		t.Fatal("input-delayed server self-suspended on staleness")
+	}
+	if srv.Suspended() {
+		t.Fatal("suspended")
+	}
+}
+
+func TestServerQoDCrashAndFirewall(t *testing.T) {
+	cfg := DefaultConfig("m1")
+	cfg.QoDFirewall = true
+	cfg.TQoD = time.Minute
+	sched, srv := newTestServer(t, cfg)
+	var crashSigs []string
+	srv.OnCrash = func(_ simtime.Time, sig string) { crashSigs = append(crashSigs, sig) }
+	evil := dnswire.QoDMarkerLabel + ".ex.com"
+	srv.Receive(0, mkReq("attacker", evil, false, nil))
+	sched.Run()
+	if srv.Snapshot().Crashes != 1 || len(crashSigs) != 1 {
+		t.Fatalf("crashes = %d", srv.Snapshot().Crashes)
+	}
+	// Similar queries now blocked by the firewall rule.
+	srv.Receive(sched.Now(), mkReq("attacker", "x"+dnswire.QoDMarkerLabel+"y.ex.com", false, nil))
+	sched.Run()
+	m := srv.Snapshot()
+	if m.Crashes != 1 || m.QoDBlocked != 1 {
+		t.Fatalf("after rule: %+v", m)
+	}
+	// Dissimilar queries still answered.
+	answered := false
+	srv.Receive(sched.Now(), mkReq("r1", "www.ex.com", true, func(simtime.Time, *dnswire.Message) { answered = true }))
+	sched.Run()
+	if !answered {
+		t.Fatal("dissimilar query not answered during QoD containment")
+	}
+	// After TQoD the rule expires and the next QoD crashes again (rate
+	// limited to once per TQoD).
+	sched.RunUntil(sched.Now().Add(2 * time.Minute))
+	srv.Receive(sched.Now(), mkReq("attacker", evil, false, nil))
+	sched.Run()
+	if srv.Snapshot().Crashes != 2 {
+		t.Fatalf("crashes after expiry = %d", srv.Snapshot().Crashes)
+	}
+}
+
+func TestServerQoDWithoutFirewallKeepsCrashing(t *testing.T) {
+	cfg := DefaultConfig("m1")
+	cfg.QoDFirewall = false
+	sched, srv := newTestServer(t, cfg)
+	evil := dnswire.QoDMarkerLabel + ".ex.com"
+	for i := 0; i < 5; i++ {
+		srv.Receive(sched.Now(), mkReq("attacker", evil, false, nil))
+		sched.Run()
+	}
+	if got := srv.Snapshot().Crashes; got != 5 {
+		t.Fatalf("crashes = %d, want 5 (no containment)", got)
+	}
+}
+
+func TestServerNXFeedback(t *testing.T) {
+	sched := simtime.NewScheduler()
+	store := testStore(t)
+	nx := filters.NewNXDomain(StoreZoneInfo{Store: store}, filters.PerHotZone)
+	nx.Threshold = 5
+	pipe := filters.NewPipeline(nx)
+	cfg := DefaultConfig("m1")
+	srv := NewServer(sched, cfg, NewEngine(store), pipe)
+	srv.NX = nx
+	// Drive 10 random-subdomain queries; after 5 NXDOMAIN responses the
+	// tree is built and later garbage is penalized.
+	for i := 0; i < 10; i++ {
+		srv.Receive(sched.Now(), mkReq("r1", fmt.Sprintf("junk%d.ex.com", i), false, nil))
+		sched.Run()
+	}
+	if len(nx.HotZones()) != 1 {
+		t.Fatalf("hot zones = %v", nx.HotZones())
+	}
+	if nx.Flagged.Load() == 0 {
+		t.Fatal("nothing flagged after activation")
+	}
+}
+
+func TestServerLoyaltyLearning(t *testing.T) {
+	sched := simtime.NewScheduler()
+	store := testStore(t)
+	lo := filters.NewLoyalty()
+	cfg := DefaultConfig("m1")
+	srv := NewServer(sched, cfg, NewEngine(store), nil)
+	srv.Loyalty = lo
+	srv.Receive(0, mkReq("r9", "www.ex.com", true, nil))
+	sched.Run()
+	if !lo.Known("r9", simtime.Second) {
+		t.Fatal("loyalty did not learn an answered resolver")
+	}
+}
+
+func TestServerUseFIFO(t *testing.T) {
+	cfg := DefaultConfig("m1")
+	sched, srv := newTestServer(t, cfg)
+	srv.UseFIFO()
+	answered := false
+	srv.Receive(0, mkReq("r1", "www.ex.com", true, func(simtime.Time, *dnswire.Message) { answered = true }))
+	sched.Run()
+	if !answered {
+		t.Fatal("FIFO-mode server did not answer")
+	}
+}
+
+func TestServerRecordInputFromBus(t *testing.T) {
+	sched := simtime.NewScheduler()
+	store := testStore(t)
+	srv := NewServer(sched, DefaultConfig("m1"), NewEngine(store), nil)
+	bus := pubsub.NewBus(sched)
+	bus.Subscribe("mapping", 100*time.Millisecond, func(now simtime.Time, m pubsub.Message) {
+		srv.RecordInput(m.Topic, now)
+	})
+	bus.Publish("mapping", "update-1")
+	sched.Run()
+	if age, ok := srv.InputAge("mapping", sched.Now()); !ok || age != 0 {
+		t.Fatalf("InputAge = %v/%v", age, ok)
+	}
+}

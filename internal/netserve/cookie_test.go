@@ -1,0 +1,181 @@
+package netserve
+
+import (
+	"testing"
+	"time"
+
+	"akamaidns/internal/dnswire"
+	"akamaidns/internal/filters"
+	"akamaidns/internal/nameserver"
+	"akamaidns/internal/zone"
+)
+
+func cookieServer(t *testing.T, require bool, pipe *filters.Pipeline) *Server {
+	t.Helper()
+	store := zone.NewStore()
+	store.Put(zone.MustParseMaster(serveZone, dnswire.MustName("ex.test")))
+	cfg := DefaultConfig()
+	cfg.Cookies = true
+	cfg.RequireCookies = require
+	cfg.CookieSecret = 0xfeedface
+	srv := New(cfg, nameserver.NewEngine(store), pipe)
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func cookieQuery(id uint16, ck *dnswire.Cookie) *dnswire.Message {
+	q := dnswire.NewQuery(id, dnswire.MustName("www.ex.test"), dnswire.TypeA)
+	opt := dnswire.NewOPT(1232)
+	if ck != nil {
+		opt.SetCookie(*ck)
+	}
+	q.Additional = append(q.Additional, opt)
+	return q
+}
+
+func TestCookieIssuedOnFirstQuery(t *testing.T) {
+	srv := cookieServer(t, false, nil)
+	ck := dnswire.Cookie{Client: [8]byte{1, 2, 3, 4, 5, 6, 7, 8}}
+	resp, err := Exchange(srv.UDPAddrActual(), cookieQuery(1, &ck), false, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := dnswire.CookieFromMessage(resp)
+	if !ok || len(got.Server) == 0 {
+		t.Fatal("no server cookie in response")
+	}
+	if got.Client != ck.Client {
+		t.Fatal("client cookie not echoed")
+	}
+	// The issued cookie verifies for our address.
+	if !dnswire.VerifyServerCookie(got, "127.0.0.1", srv.Cfg.CookieSecret) {
+		t.Fatal("issued cookie does not verify")
+	}
+}
+
+func TestRequireCookiesRefusesUDPWithout(t *testing.T) {
+	srv := cookieServer(t, true, nil)
+	ck := dnswire.Cookie{Client: [8]byte{9, 9, 9, 9, 9, 9, 9, 9}}
+	// First query (no server cookie): REFUSED, but with a cookie attached.
+	resp, err := Exchange(srv.UDPAddrActual(), cookieQuery(2, &ck), false, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.RCode != dnswire.RCodeRefused {
+		t.Fatalf("rcode = %v, want REFUSED", resp.RCode)
+	}
+	issued, ok := dnswire.CookieFromMessage(resp)
+	if !ok || len(issued.Server) == 0 {
+		t.Fatal("refusal carried no cookie")
+	}
+	// Retry with the issued cookie: answered.
+	resp2, err := Exchange(srv.UDPAddrActual(), cookieQuery(3, &issued), false, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp2.RCode != dnswire.RCodeNoError || len(resp2.Answers) != 1 {
+		t.Fatalf("retry with cookie: %v", resp2)
+	}
+}
+
+func TestRequireCookiesTCPExempt(t *testing.T) {
+	srv := cookieServer(t, true, nil)
+	q := dnswire.NewQuery(4, dnswire.MustName("www.ex.test"), dnswire.TypeA)
+	resp, err := Exchange(srv.TCPAddrActual(), q, true, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.RCode != dnswire.RCodeNoError {
+		t.Fatalf("TCP without cookie: %v (handshake already proves the address)", resp.RCode)
+	}
+}
+
+func TestForgedCookieRejected(t *testing.T) {
+	srv := cookieServer(t, true, nil)
+	forged := dnswire.Cookie{Client: [8]byte{1, 1, 1, 1, 1, 1, 1, 1},
+		Server: make([]byte, 16)}
+	resp, err := Exchange(srv.UDPAddrActual(), cookieQuery(5, &forged), false, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.RCode != dnswire.RCodeRefused {
+		t.Fatalf("forged cookie rcode = %v", resp.RCode)
+	}
+}
+
+func TestValidCookieBypassesPipeline(t *testing.T) {
+	// A pipeline that would discard everything; a valid cookie (proof of
+	// address ownership) bypasses it.
+	hostile := filters.NewAllowlist()
+	hostile.SetActive(true)
+	hostile.Penalty = 1000
+	pipe := filters.NewPipeline(hostile)
+	srv := cookieServer(t, false, pipe)
+	ck := dnswire.Cookie{Client: [8]byte{7, 7, 7, 7, 7, 7, 7, 7}}
+	// First query: discarded (no valid cookie yet, pipeline applies).
+	if _, err := Exchange(srv.UDPAddrActual(), cookieQuery(6, &ck), false, 300*time.Millisecond); err == nil {
+		t.Fatal("cookieless query escaped the hostile pipeline")
+	}
+	// Hand-compute the valid cookie and retry: answered.
+	valid := dnswire.Cookie{Client: ck.Client,
+		Server: dnswire.ComputeServerCookie(ck.Client, "127.0.0.1", srv.Cfg.CookieSecret)}
+	resp, err := Exchange(srv.UDPAddrActual(), cookieQuery(7, &valid), false, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.RCode != dnswire.RCodeNoError {
+		t.Fatalf("valid cookie did not bypass pipeline: %v", resp.RCode)
+	}
+}
+
+func TestCookieWireRoundTrip(t *testing.T) {
+	opt := dnswire.NewOPT(1232)
+	want := dnswire.Cookie{Client: [8]byte{1, 2, 3, 4, 5, 6, 7, 8},
+		Server: dnswire.ComputeServerCookie([8]byte{1, 2, 3, 4, 5, 6, 7, 8}, "10.0.0.1", 42)}
+	if err := opt.SetCookie(want); err != nil {
+		t.Fatal(err)
+	}
+	q := dnswire.NewQuery(1, dnswire.MustName("a.test"), dnswire.TypeA)
+	q.Additional = append(q.Additional, opt)
+	wire, err := q.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dnswire.Unpack(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := dnswire.CookieFromMessage(m)
+	if !ok || got.Client != want.Client || string(got.Server) != string(want.Server) {
+		t.Fatalf("cookie round trip: %+v", got)
+	}
+	// Verification is address-bound.
+	if dnswire.VerifyServerCookie(got, "10.0.0.2", 42) {
+		t.Fatal("cookie verified for wrong address")
+	}
+	if dnswire.VerifyServerCookie(got, "10.0.0.1", 43) {
+		t.Fatal("cookie verified for wrong secret")
+	}
+	if !dnswire.VerifyServerCookie(got, "10.0.0.1", 42) {
+		t.Fatal("cookie did not verify")
+	}
+}
+
+func TestCookieInvalidLengths(t *testing.T) {
+	opt := dnswire.NewOPT(1232)
+	if err := opt.SetCookie(dnswire.Cookie{Server: make([]byte, 4)}); err == nil {
+		t.Fatal("4-byte server cookie accepted")
+	}
+	if err := opt.SetCookie(dnswire.Cookie{Server: make([]byte, 33)}); err == nil {
+		t.Fatal("33-byte server cookie accepted")
+	}
+	// Raw malformed option data: too-short payload must not parse.
+	opt2 := dnswire.NewOPT(1232)
+	opt2.Options = append(opt2.Options, dnswire.EDNSOption{Code: 10, Data: []byte{1, 2, 3}})
+	if _, ok := opt2.GetCookie(); ok {
+		t.Fatal("3-byte cookie option parsed")
+	}
+}

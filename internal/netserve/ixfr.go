@@ -1,0 +1,260 @@
+package netserve
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"akamaidns/internal/dnswire"
+	"akamaidns/internal/zone"
+)
+
+// IXFR (RFC 1995): incremental zone transfer. The server keeps a bounded
+// zone.History of recent versions; a secondary presenting its current SOA
+// serial receives only the delta. When the serial is no longer retained the
+// server answers with a full AXFR-style zone, as the RFC prescribes.
+
+// serveIXFR handles one IXFR query on a TCP connection.
+func (s *Server) serveIXFR(conn net.Conn, q *dnswire.Message) {
+	origin := q.Questions[0].Name
+	reply := func(answers []dnswire.RR) bool {
+		r := dnswire.NewResponse(q)
+		r.Authoritative = true
+		r.Answers = answers
+		wire, err := r.Pack()
+		if err != nil {
+			return false
+		}
+		if err := writeFrame(conn, wire); err != nil {
+			s.Metrics.WriteErrors.Add(1)
+			return false
+		}
+		return true
+	}
+	refuse := func() {
+		r := dnswire.NewResponse(q)
+		r.RCode = dnswire.RCodeRefused
+		if wire, err := r.Pack(); err == nil {
+			writeFrame(conn, wire)
+		}
+	}
+	if !s.Cfg.AllowTransfer {
+		refuse()
+		return
+	}
+	cur := s.Engine.Store.Get(origin)
+	if cur == nil || cur.SOA() == nil {
+		refuse()
+		return
+	}
+	curSOA := cur.SOA()
+	// The client's serial rides in the authority section's SOA.
+	var fromSerial uint32
+	haveFrom := false
+	for _, rr := range q.Authority {
+		if soa, ok := rr.(*dnswire.SOA); ok {
+			fromSerial = soa.Serial
+			haveFrom = true
+		}
+	}
+	s.Metrics.Transfers.Add(1)
+	// Already current: a single SOA tells the client so.
+	if haveFrom && fromSerial == curSOA.Serial {
+		reply([]dnswire.RR{curSOA})
+		return
+	}
+	if haveFrom && s.History != nil {
+		if d, ok := s.History.DeltaFrom(origin, fromSerial); ok && d.ToSerial == curSOA.Serial {
+			// Incremental format: newSOA, oldSOA, deletions, newSOA,
+			// additions, newSOA.
+			oldSOA := curSOA.Copy().(*dnswire.SOA)
+			oldSOA.Serial = fromSerial
+			answers := []dnswire.RR{curSOA, oldSOA}
+			answers = append(answers, d.Deleted...)
+			answers = append(answers, curSOA)
+			answers = append(answers, d.Added...)
+			answers = append(answers, curSOA)
+			reply(answers)
+			return
+		}
+	}
+	// Fallback: full zone, AXFR-style (SOA ... SOA).
+	stream := s.Engine.Store.Transfer(origin)
+	if stream == nil {
+		refuse()
+		return
+	}
+	const batch = 64
+	for i := 0; i < len(stream); i += batch {
+		end := i + batch
+		if end > len(stream) {
+			end = len(stream)
+		}
+		if !reply(stream[i:end]) {
+			return
+		}
+	}
+}
+
+// TransferIncremental performs an IXFR from addr for origin, given the
+// serial the caller holds. The outcome is one of: UpToDate (no records),
+// Incremental (delta returned), or Full (complete zone returned).
+type IncrementalResult struct {
+	UpToDate bool
+	// Delta is set for an incremental response.
+	Delta *zone.Delta
+	// Full is set for an AXFR-style response.
+	Full []dnswire.RR
+}
+
+// TransferIncremental issues the IXFR query and classifies the response.
+func TransferIncremental(addr string, origin dnswire.Name, haveSerial uint32, timeout time.Duration) (*IncrementalResult, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	q := dnswire.NewQuery(uint16(time.Now().UnixNano()), origin, dnswire.TypeIXFR)
+	q.Authority = append(q.Authority, &dnswire.SOA{
+		RRHeader: dnswire.RRHeader{Name: origin, Type: dnswire.TypeSOA, Class: dnswire.ClassINET},
+		MName:    origin, RName: origin, Serial: haveSerial,
+	})
+	wire, err := q.Pack()
+	if err != nil {
+		return nil, err
+	}
+	if err := writeFrame(conn, wire); err != nil {
+		return nil, err
+	}
+	// Collect records across frames until the transfer terminates.
+	var recs []dnswire.RR
+	var firstSOA *dnswire.SOA
+	done := false
+	for !done {
+		frame, err := readFrame(conn)
+		if err != nil {
+			return nil, err
+		}
+		m, err := dnswire.Unpack(frame)
+		if err != nil {
+			return nil, err
+		}
+		if m.RCode != dnswire.RCodeNoError {
+			return nil, fmt.Errorf("netserve: IXFR refused: %s", m.RCode)
+		}
+		if len(m.Answers) == 0 {
+			return nil, fmt.Errorf("netserve: empty IXFR message")
+		}
+		for _, rr := range m.Answers {
+			if soa, ok := rr.(*dnswire.SOA); ok && firstSOA == nil {
+				firstSOA = soa
+				recs = append(recs, rr)
+				continue
+			}
+			recs = append(recs, rr)
+			if soa, ok := rr.(*dnswire.SOA); ok && firstSOA != nil &&
+				soa.Serial == firstSOA.Serial && len(recs) > 1 {
+				// Closing SOA — but an incremental body contains interior
+				// copies of the new SOA too; termination is decided below
+				// by structure, so keep scanning only within this frame.
+				_ = soa
+			}
+		}
+		// Decide termination by structure.
+		if firstSOA == nil {
+			return nil, fmt.Errorf("netserve: IXFR did not start with SOA")
+		}
+		switch classifyIXFR(recs, firstSOA) {
+		case ixfrIncomplete:
+			continue
+		default:
+			done = true
+		}
+	}
+	switch classifyIXFR(recs, firstSOA) {
+	case ixfrUpToDate:
+		return &IncrementalResult{UpToDate: true}, nil
+	case ixfrIncremental:
+		d, err := parseIncremental(recs, firstSOA)
+		if err != nil {
+			return nil, err
+		}
+		return &IncrementalResult{Delta: d}, nil
+	case ixfrFull:
+		return &IncrementalResult{Full: recs}, nil
+	default:
+		return nil, fmt.Errorf("netserve: IXFR stream did not terminate")
+	}
+}
+
+type ixfrKind int
+
+const (
+	ixfrIncomplete ixfrKind = iota
+	ixfrUpToDate
+	ixfrIncremental
+	ixfrFull
+)
+
+// classifyIXFR inspects the record stream so far.
+func classifyIXFR(recs []dnswire.RR, first *dnswire.SOA) ixfrKind {
+	if len(recs) == 1 {
+		if _, ok := recs[0].(*dnswire.SOA); ok {
+			return ixfrUpToDate
+		}
+		return ixfrIncomplete
+	}
+	if len(recs) < 2 {
+		return ixfrIncomplete
+	}
+	_, secondIsSOA := recs[1].(*dnswire.SOA)
+	last, lastIsSOA := recs[len(recs)-1].(*dnswire.SOA)
+	if !lastIsSOA || last.Serial != first.Serial {
+		return ixfrIncomplete
+	}
+	if secondIsSOA {
+		// Incremental needs the full bracket: first, old, [dels], first,
+		// [adds], first => at least 4 SOAs with the new serial... exactly:
+		// count new-serial SOAs; 3 marks completion (start, mid, end).
+		n := 0
+		for _, rr := range recs {
+			if soa, ok := rr.(*dnswire.SOA); ok && soa.Serial == first.Serial {
+				n++
+			}
+		}
+		if n >= 3 {
+			return ixfrIncremental
+		}
+		return ixfrIncomplete
+	}
+	return ixfrFull
+}
+
+// parseIncremental splits [newSOA, oldSOA, dels..., newSOA, adds..., newSOA].
+func parseIncremental(recs []dnswire.RR, first *dnswire.SOA) (*zone.Delta, error) {
+	oldSOA, ok := recs[1].(*dnswire.SOA)
+	if !ok {
+		return nil, fmt.Errorf("netserve: malformed incremental stream")
+	}
+	d := &zone.Delta{FromSerial: oldSOA.Serial, ToSerial: first.Serial}
+	section := 0 // 0 = deletions, 1 = additions
+	for _, rr := range recs[2 : len(recs)-1] {
+		if soa, ok := rr.(*dnswire.SOA); ok && soa.Serial == first.Serial {
+			section++
+			continue
+		}
+		switch section {
+		case 0:
+			d.Deleted = append(d.Deleted, rr)
+		case 1:
+			d.Added = append(d.Added, rr)
+		default:
+			return nil, fmt.Errorf("netserve: extra section in incremental stream")
+		}
+	}
+	if section != 1 {
+		return nil, fmt.Errorf("netserve: incremental stream missing sections")
+	}
+	return d, nil
+}

@@ -1,0 +1,546 @@
+// Package netserve runs the authoritative nameserver over real sockets:
+// UDP (with EDNS-aware truncation) and TCP (length-framed, including
+// AXFR-style zone transfer, RFC 5936 framing). It drives the exact same
+// zone store, engine, and scoring pipeline as the simulation, so the
+// Figure 10 testbed exercises production code paths.
+package netserve
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"akamaidns/internal/dnswire"
+	"akamaidns/internal/filters"
+	"akamaidns/internal/nameserver"
+	"akamaidns/internal/queue"
+	"akamaidns/internal/simtime"
+	"akamaidns/internal/zone"
+)
+
+// Config tunes the socket server.
+type Config struct {
+	// UDPAddr and TCPAddr are listen addresses ("127.0.0.1:5300"); empty
+	// disables that listener.
+	UDPAddr string
+	TCPAddr string
+	// Smax discards queries outright when the pipeline scores at or above
+	// it (0 disables scoring-based discard).
+	Smax float64
+	// ReadTimeout bounds TCP reads.
+	ReadTimeout time.Duration
+	// AllowTransfer permits AXFR over TCP.
+	AllowTransfer bool
+	// Cookies enables DNS Cookies (RFC 7873): server cookies are issued
+	// and verified; queries with a valid server cookie have proven address
+	// ownership and bypass the scoring pipeline (they cannot be class-4/5
+	// spoofs).
+	Cookies bool
+	// RequireCookies additionally refuses UDP queries without a valid
+	// server cookie (responding with a fresh cookie so legitimate clients
+	// retry); TCP is exempt, as the handshake already proves the address.
+	RequireCookies bool
+	// CookieSecret keys server-cookie generation.
+	CookieSecret uint64
+}
+
+// DefaultConfig listens on localhost ephemeral ports.
+func DefaultConfig() Config {
+	return Config{
+		UDPAddr:       "127.0.0.1:0",
+		TCPAddr:       "127.0.0.1:0",
+		Smax:          queue.DefaultConfig().Smax,
+		ReadTimeout:   5 * time.Second,
+		AllowTransfer: true,
+	}
+}
+
+// Metrics counts socket-server activity.
+type Metrics struct {
+	UDPQueries   atomic.Uint64
+	TCPQueries   atomic.Uint64
+	Discarded    atomic.Uint64
+	FormErr      atomic.Uint64
+	Truncated    atomic.Uint64
+	Transfers    atomic.Uint64
+	WriteErrors  atomic.Uint64
+	DecodeErrors atomic.Uint64
+}
+
+// Server is the socket front-end.
+type Server struct {
+	Cfg      Config
+	Engine   *nameserver.Engine
+	Pipeline *filters.Pipeline
+	Metrics  Metrics
+	// OnNotify, when set, receives RFC 1996 NOTIFY messages (secondaries
+	// wire this to Secondary.Notify).
+	OnNotify func(origin dnswire.Name)
+	// History, when set, enables incremental zone transfer (IXFR): record
+	// each zone version with History.Record after serial bumps.
+	History *zone.History
+
+	started time.Time
+	udp     *net.UDPConn
+	tcp     net.Listener
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+}
+
+// New builds a server over the engine. pipeline may be nil.
+func New(cfg Config, eng *nameserver.Engine, pipeline *filters.Pipeline) *Server {
+	return &Server{Cfg: cfg, Engine: eng, Pipeline: pipeline, started: time.Now()}
+}
+
+// now maps wall time onto the virtual timeline the filters expect.
+func (s *Server) now() simtime.Time {
+	return simtime.Time(time.Since(s.started))
+}
+
+// Start opens the listeners and serves until Close.
+func (s *Server) Start() error {
+	if s.Cfg.UDPAddr != "" {
+		addr, err := net.ResolveUDPAddr("udp", s.Cfg.UDPAddr)
+		if err != nil {
+			return err
+		}
+		s.udp, err = net.ListenUDP("udp", addr)
+		if err != nil {
+			return err
+		}
+		s.wg.Add(1)
+		go s.serveUDP()
+	}
+	if s.Cfg.TCPAddr != "" {
+		var err error
+		s.tcp, err = net.Listen("tcp", s.Cfg.TCPAddr)
+		if err != nil {
+			if s.udp != nil {
+				s.udp.Close()
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go s.serveTCP()
+	}
+	return nil
+}
+
+// UDPAddrActual reports the bound UDP address (for :0 listeners).
+func (s *Server) UDPAddrActual() string {
+	if s.udp == nil {
+		return ""
+	}
+	return s.udp.LocalAddr().String()
+}
+
+// TCPAddrActual reports the bound TCP address.
+func (s *Server) TCPAddrActual() string {
+	if s.tcp == nil {
+		return ""
+	}
+	return s.tcp.Addr().String()
+}
+
+// Close stops the listeners and waits for handlers.
+func (s *Server) Close() {
+	if !s.closed.CompareAndSwap(false, true) {
+		return
+	}
+	if s.udp != nil {
+		s.udp.Close()
+	}
+	if s.tcp != nil {
+		s.tcp.Close()
+	}
+	s.wg.Wait()
+}
+
+func (s *Server) serveUDP() {
+	defer s.wg.Done()
+	buf := make([]byte, 65535)
+	for {
+		n, raddr, err := s.udp.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		s.Metrics.UDPQueries.Add(1)
+		resp := s.handle(buf[:n], raddr.IP.String(), false)
+		if resp == nil {
+			continue
+		}
+		if _, err := s.udp.WriteToUDP(resp, raddr); err != nil {
+			s.Metrics.WriteErrors.Add(1)
+		}
+	}
+}
+
+// handle decodes, scores, answers, and encodes one message. Returns nil
+// when the query is dropped (discard or undecodable with no ID).
+func (s *Server) handle(wire []byte, srcIP string, tcp bool) []byte {
+	q, err := dnswire.Unpack(wire)
+	if err != nil {
+		s.Metrics.DecodeErrors.Add(1)
+		return formErrFor(wire)
+	}
+	if q.Response {
+		return nil // QR-bit filtering: reflection junk never reaches the engine
+	}
+	if q.OpCode == dnswire.OpNotify {
+		// RFC 1996: acknowledge and hand off to the refresh machinery.
+		if s.OnNotify != nil && len(q.Questions) == 1 {
+			s.OnNotify(q.Questions[0].Name)
+		}
+		r := dnswire.NewResponse(q)
+		r.Authoritative = true
+		out, err := r.Pack()
+		if err != nil {
+			return nil
+		}
+		return out
+	}
+	// DNS Cookies: a valid server cookie proves the source address.
+	var clientCookie *dnswire.Cookie
+	cookieValid := false
+	if s.Cfg.Cookies {
+		if ck, ok := dnswire.CookieFromMessage(q); ok {
+			clientCookie = &ck
+			cookieValid = dnswire.VerifyServerCookie(ck, srcIP, s.Cfg.CookieSecret)
+		}
+		if s.Cfg.RequireCookies && !tcp && !cookieValid {
+			// Refuse, attaching the correct cookie so a real (non-spoofed)
+			// client can immediately retry with it.
+			r := dnswire.NewResponse(q)
+			r.RCode = dnswire.RCodeRefused
+			opt := dnswire.NewOPT(1232)
+			if clientCookie != nil {
+				opt.SetCookie(dnswire.Cookie{
+					Client: clientCookie.Client,
+					Server: dnswire.ComputeServerCookie(clientCookie.Client, srcIP, s.Cfg.CookieSecret),
+				})
+			}
+			r.Additional = append(r.Additional, opt)
+			out, err := r.Pack()
+			if err != nil {
+				return nil
+			}
+			return out
+		}
+	}
+	if s.Pipeline != nil && len(q.Questions) == 1 && s.Cfg.Smax > 0 && !cookieValid {
+		fq := &filters.Query{
+			Resolver: srcIP,
+			Name:     q.Questions[0].Name,
+			Type:     q.Questions[0].Type,
+			IPTTL:    64, // kernel does not expose arriving TTL portably
+			Now:      s.now(),
+		}
+		if z := s.Engine.Store.Find(fq.Name); z != nil {
+			fq.Zone = z.Origin()
+		}
+		if score, _ := s.Pipeline.Score(fq); score >= s.Cfg.Smax {
+			s.Metrics.Discarded.Add(1)
+			return nil
+		}
+	}
+	resp, _, crashed := s.Engine.Answer(q, srcIP)
+	if !crashed && s.Cfg.Cookies && clientCookie != nil {
+		if ro := resp.OPT(); ro != nil {
+			ro.SetCookie(dnswire.Cookie{
+				Client: clientCookie.Client,
+				Server: dnswire.ComputeServerCookie(clientCookie.Client, srcIP, s.Cfg.CookieSecret),
+			})
+		}
+	}
+	if crashed {
+		// The real process would die; over sockets we emulate by not
+		// answering (the resolver times out), mirroring §4.2.4.
+		return nil
+	}
+	if resp.RCode == dnswire.RCodeFormErr {
+		s.Metrics.FormErr.Add(1)
+	}
+	limit := dnswire.MaxUDPPayload
+	if opt := q.OPT(); opt != nil {
+		limit = int(opt.UDPSize())
+	}
+	if tcp {
+		limit = 65535
+	}
+	fitted, wireOut, err := resp.TruncateTo(limit)
+	if err != nil {
+		s.Metrics.WriteErrors.Add(1)
+		return nil
+	}
+	if fitted.Truncated {
+		s.Metrics.Truncated.Add(1)
+	}
+	return wireOut
+}
+
+// formErrFor builds a FORMERR reply echoing the query ID when at least the
+// header was readable.
+func formErrFor(wire []byte) []byte {
+	if len(wire) < 12 {
+		return nil
+	}
+	m := &dnswire.Message{Header: dnswire.Header{
+		ID:       binary.BigEndian.Uint16(wire[:2]),
+		Response: true,
+		RCode:    dnswire.RCodeFormErr,
+	}}
+	out, err := m.Pack()
+	if err != nil {
+		return nil
+	}
+	return out
+}
+
+func (s *Server) serveTCP() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.tcp.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.serveTCPConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveTCPConn(conn net.Conn) {
+	src, _, _ := net.SplitHostPort(conn.RemoteAddr().String())
+	for {
+		if s.Cfg.ReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.Cfg.ReadTimeout))
+		}
+		wire, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		s.Metrics.TCPQueries.Add(1)
+		// Zone transfers?
+		if q, err := dnswire.Unpack(wire); err == nil && len(q.Questions) == 1 {
+			switch q.Questions[0].Type {
+			case dnswire.TypeAXFR:
+				s.serveTransfer(conn, q)
+				continue
+			case dnswire.TypeIXFR:
+				s.serveIXFR(conn, q)
+				continue
+			}
+		}
+		resp := s.handle(wire, src, true)
+		if resp == nil {
+			continue
+		}
+		if err := writeFrame(conn, resp); err != nil {
+			s.Metrics.WriteErrors.Add(1)
+			return
+		}
+	}
+}
+
+// serveTransfer streams the zone as a sequence of messages, SOA-first and
+// SOA-last (RFC 5936).
+func (s *Server) serveTransfer(conn net.Conn, q *dnswire.Message) {
+	origin := q.Questions[0].Name
+	refuse := func() {
+		r := dnswire.NewResponse(q)
+		r.RCode = dnswire.RCodeRefused
+		if wire, err := r.Pack(); err == nil {
+			writeFrame(conn, wire)
+		}
+	}
+	if !s.Cfg.AllowTransfer {
+		refuse()
+		return
+	}
+	store := s.Engine.Store
+	stream := store.Transfer(origin)
+	if stream == nil {
+		refuse()
+		return
+	}
+	s.Metrics.Transfers.Add(1)
+	// Batch records into messages of ~64 RRs.
+	const batch = 64
+	for i := 0; i < len(stream); i += batch {
+		end := i + batch
+		if end > len(stream) {
+			end = len(stream)
+		}
+		r := dnswire.NewResponse(q)
+		r.Authoritative = true
+		r.Answers = stream[i:end]
+		wire, err := r.Pack()
+		if err != nil {
+			return
+		}
+		if err := writeFrame(conn, wire); err != nil {
+			s.Metrics.WriteErrors.Add(1)
+			return
+		}
+	}
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var lenBuf [2]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint16(lenBuf[:])
+	if n == 0 {
+		return nil, errors.New("netserve: zero-length frame")
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func writeFrame(w io.Writer, msg []byte) error {
+	if len(msg) > 65535 {
+		return fmt.Errorf("netserve: frame too large (%d)", len(msg))
+	}
+	var lenBuf [2]byte
+	binary.BigEndian.PutUint16(lenBuf[:], uint16(len(msg)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(msg)
+	return err
+}
+
+// Exchange is a minimal client: sends one query over UDP (or TCP when tcp
+// is true) and returns the decoded response.
+func Exchange(addr string, q *dnswire.Message, tcp bool, timeout time.Duration) (*dnswire.Message, error) {
+	wire, err := q.Pack()
+	if err != nil {
+		return nil, err
+	}
+	if tcp {
+		conn, err := net.DialTimeout("tcp", addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		defer conn.Close()
+		conn.SetDeadline(time.Now().Add(timeout))
+		if err := writeFrame(conn, wire); err != nil {
+			return nil, err
+		}
+		resp, err := readFrame(conn)
+		if err != nil {
+			return nil, err
+		}
+		return dnswire.Unpack(resp)
+	}
+	conn, err := net.DialTimeout("udp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	if _, err := conn.Write(wire); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 65535)
+	n, err := conn.Read(buf)
+	if err != nil {
+		return nil, err
+	}
+	return dnswire.Unpack(buf[:n])
+}
+
+// Transfer performs an AXFR over TCP, returning all records.
+func Transfer(addr string, origin dnswire.Name, timeout time.Duration) ([]dnswire.RR, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	q := dnswire.NewQuery(1, origin, dnswire.TypeAXFR)
+	wire, err := q.Pack()
+	if err != nil {
+		return nil, err
+	}
+	if err := writeFrame(conn, wire); err != nil {
+		return nil, err
+	}
+	var out []dnswire.RR
+	soaSeen := 0
+	for soaSeen < 2 {
+		frame, err := readFrame(conn)
+		if err != nil {
+			return nil, err
+		}
+		m, err := dnswire.Unpack(frame)
+		if err != nil {
+			return nil, err
+		}
+		if m.RCode != dnswire.RCodeNoError {
+			return nil, fmt.Errorf("netserve: transfer refused: %s", m.RCode)
+		}
+		if len(m.Answers) == 0 {
+			return nil, errors.New("netserve: empty transfer message")
+		}
+		for _, rr := range m.Answers {
+			if _, isSOA := rr.(*dnswire.SOA); isSOA {
+				soaSeen++
+			}
+			out = append(out, rr)
+			if soaSeen == 2 {
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// LoadZonesInto parses origin=path pairs into the store (the authdns CLI's
+// -zone flag).
+func LoadZonesInto(store *zone.Store, specs []string, open func(string) (io.ReadCloser, error)) error {
+	for _, spec := range specs {
+		var origin, path string
+		if n, err := fmt.Sscanf(spec, "%s", &path); n != 1 || err != nil {
+			return fmt.Errorf("netserve: bad zone spec %q", spec)
+		}
+		eq := -1
+		for i := range spec {
+			if spec[i] == '=' {
+				eq = i
+				break
+			}
+		}
+		if eq < 0 {
+			return fmt.Errorf("netserve: zone spec %q needs origin=path", spec)
+		}
+		origin, path = spec[:eq], spec[eq+1:]
+		name, err := dnswire.ParseName(origin)
+		if err != nil {
+			return err
+		}
+		f, err := open(path)
+		if err != nil {
+			return err
+		}
+		z, err := zone.ParseMaster(f, name)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("netserve: zone %s: %w", origin, err)
+		}
+		store.Put(z)
+	}
+	return nil
+}

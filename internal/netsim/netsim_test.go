@@ -1,0 +1,365 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"akamaidns/internal/simtime"
+)
+
+func TestDistanceKm(t *testing.T) {
+	// NYC to London ~ 5570 km.
+	nyc := GeoPoint{40.7, -74.0}
+	lon := GeoPoint{51.5, -0.1}
+	d := DistanceKm(nyc, lon)
+	if d < 5400 || d > 5750 {
+		t.Fatalf("NYC-London distance = %.0f km", d)
+	}
+	if DistanceKm(nyc, nyc) != 0 {
+		t.Fatal("zero distance wrong")
+	}
+}
+
+func TestPropDelayMonotone(t *testing.T) {
+	a := GeoPoint{0, 0}
+	near := GeoPoint{1, 1}
+	far := GeoPoint{40, 90}
+	if PropDelay(a, near) >= PropDelay(a, far) {
+		t.Fatal("PropDelay not monotone in distance")
+	}
+	if PropDelay(a, a) <= 0 {
+		t.Fatal("PropDelay must include a positive constant")
+	}
+}
+
+// lineNet builds A - B - C with 1ms links.
+func lineNet(t *testing.T) (*Network, *Node, *Node, *Node) {
+	t.Helper()
+	s := simtime.NewScheduler()
+	n := New(s)
+	a := n.AddNode("a", GeoPoint{})
+	b := n.AddNode("b", GeoPoint{})
+	c := n.AddNode("c", GeoPoint{})
+	n.ConnectDelay(a, b, time.Millisecond)
+	n.ConnectDelay(b, c, time.Millisecond)
+	return n, a, b, c
+}
+
+func TestForwardDelivery(t *testing.T) {
+	n, a, b, c := lineNet(t)
+	const p = Prefix("svc")
+	a.SetRoute(p, b.ID)
+	b.SetRoute(p, c.ID)
+	c.SetRoute(p, c.ID) // local
+	var got *Packet
+	var at simtime.Time
+	c.SetHandler(func(now simtime.Time, _ *Node, pkt *Packet) { got, at = pkt, now })
+	a.Send(p, "hello")
+	n.Sched.Run()
+	if got == nil {
+		t.Fatal("packet not delivered")
+	}
+	if got.Payload != "hello" || got.Src != a.ID {
+		t.Fatalf("packet = %+v", got)
+	}
+	if at != simtime.Time(2*time.Millisecond) {
+		t.Fatalf("delivered at %v, want 2ms", at)
+	}
+	if got.HopCount() != 2 {
+		t.Fatalf("hops = %d, want 2", got.HopCount())
+	}
+	if got.TTL != DefaultTTL-2 {
+		t.Fatalf("TTL = %d, want %d", got.TTL, DefaultTTL-2)
+	}
+}
+
+func TestForwardNoRouteDrops(t *testing.T) {
+	n, a, _, _ := lineNet(t)
+	a.Send(Prefix("unknown"), nil)
+	n.Sched.Run()
+	if n.Lost != 1 || a.Drops != 1 {
+		t.Fatalf("Lost=%d aDrops=%d", n.Lost, a.Drops)
+	}
+}
+
+func TestForwardLoopTTLExpiry(t *testing.T) {
+	n, a, b, _ := lineNet(t)
+	const p = Prefix("loop")
+	// Divergent tables: a->b, b->a.
+	a.SetRoute(p, b.ID)
+	b.SetRoute(p, a.ID)
+	a.Send(p, nil)
+	n.Sched.Run()
+	if n.Lost != 1 {
+		t.Fatalf("looping packet not dropped: Lost=%d", n.Lost)
+	}
+	// TTL should have been exhausted: roughly DefaultTTL hops happened, so
+	// the virtual clock advanced about DefaultTTL ms.
+	min := simtime.Time(time.Duration(DefaultTTL-3) * time.Millisecond)
+	if n.Sched.Now() < min {
+		t.Fatalf("clock %v: loop did not persist until TTL expiry", n.Sched.Now())
+	}
+}
+
+func TestLinkDownDrops(t *testing.T) {
+	n, a, b, c := lineNet(t)
+	const p = Prefix("svc")
+	a.SetRoute(p, b.ID)
+	b.SetRoute(p, c.ID)
+	c.SetRoute(p, c.ID)
+	if err := n.SetLink(b.ID, c.ID, false); err != nil {
+		t.Fatal(err)
+	}
+	delivered := false
+	c.SetHandler(func(simtime.Time, *Node, *Packet) { delivered = true })
+	a.Send(p, nil)
+	n.Sched.Run()
+	if delivered {
+		t.Fatal("packet crossed a down link")
+	}
+	if n.Lost != 1 {
+		t.Fatalf("Lost = %d", n.Lost)
+	}
+	if err := n.SetLink(a.ID, c.ID, false); err == nil {
+		t.Fatal("SetLink on missing link succeeded")
+	}
+}
+
+func TestSendReverse(t *testing.T) {
+	n, a, b, c := lineNet(t)
+	const p = Prefix("svc")
+	a.SetRoute(p, b.ID)
+	b.SetRoute(p, c.ID)
+	c.SetRoute(p, c.ID)
+	var replyAt simtime.Time
+	var reply *Packet
+	a.SetHandler(func(now simtime.Time, _ *Node, pkt *Packet) { replyAt, reply = now, pkt })
+	c.SetHandler(func(_ simtime.Time, nd *Node, pkt *Packet) {
+		nd.SendReverse(pkt, "pong")
+	})
+	a.Send(p, "ping")
+	n.Sched.Run()
+	if reply == nil {
+		t.Fatal("no reply")
+	}
+	if reply.Payload != "pong" {
+		t.Fatalf("reply payload = %v", reply.Payload)
+	}
+	if replyAt != simtime.Time(4*time.Millisecond) {
+		t.Fatalf("reply at %v, want 4ms", replyAt)
+	}
+}
+
+func TestSendReverseLostOnDownLink(t *testing.T) {
+	n, a, b, c := lineNet(t)
+	const p = Prefix("svc")
+	a.SetRoute(p, b.ID)
+	b.SetRoute(p, c.ID)
+	c.SetRoute(p, c.ID)
+	gotReply := false
+	a.SetHandler(func(simtime.Time, *Node, *Packet) { gotReply = true })
+	c.SetHandler(func(_ simtime.Time, nd *Node, pkt *Packet) {
+		// Break the return path before replying.
+		n.SetLink(a.ID, b.ID, false)
+		nd.SendReverse(pkt, "pong")
+	})
+	a.Send(p, "ping")
+	n.Sched.Run()
+	if gotReply {
+		t.Fatal("reply crossed a down link")
+	}
+}
+
+func TestSetRouteNonNeighborPanics(t *testing.T) {
+	_, a, _, c := lineNet(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for non-neighbor route")
+		}
+	}()
+	a.SetRoute(Prefix("x"), c.ID) // a and c are not adjacent
+}
+
+func TestConnectIdempotent(t *testing.T) {
+	s := simtime.NewScheduler()
+	n := New(s)
+	a := n.AddNode("a", GeoPoint{})
+	b := n.AddNode("b", GeoPoint{1, 1})
+	l1 := n.Connect(a, b)
+	l2 := n.Connect(a, b)
+	if l1 != l2 {
+		t.Fatal("duplicate Connect created a second link")
+	}
+	if len(a.Neighbors()) != 1 {
+		t.Fatalf("neighbors = %d", len(a.Neighbors()))
+	}
+}
+
+func TestGenTopologyConnected(t *testing.T) {
+	s := simtime.NewScheduler()
+	n := New(s)
+	rng := rand.New(rand.NewSource(7))
+	topo := GenTopology(n, DefaultRegions(), rng)
+	if len(topo.Core) == 0 {
+		t.Fatal("no core routers")
+	}
+	// BFS over links to confirm the core is connected.
+	seen := map[NodeID]bool{topo.Core[0].ID: true}
+	queue := []NodeID{topo.Core[0].ID}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		for _, nb := range n.Node(id).Neighbors() {
+			if !seen[nb] {
+				seen[nb] = true
+				queue = append(queue, nb)
+			}
+		}
+	}
+	for _, c := range topo.Core {
+		if !seen[c.ID] {
+			t.Fatalf("core router %s unreachable", c.Name)
+		}
+	}
+}
+
+func TestAttachStub(t *testing.T) {
+	s := simtime.NewScheduler()
+	n := New(s)
+	rng := rand.New(rand.NewSource(7))
+	topo := GenTopology(n, DefaultRegions(), rng)
+	stub := topo.AttachStub("vp-1", "eu", 1)
+	if len(stub.Neighbors()) < 1 {
+		t.Fatal("stub has no links")
+	}
+	// The stub must be near the EU center.
+	if DistanceKm(stub.Loc, GeoPoint{50, 10}) > 6000 {
+		t.Fatalf("eu stub at %v, too far", stub.Loc)
+	}
+}
+
+func TestPickRegionWeights(t *testing.T) {
+	s := simtime.NewScheduler()
+	n := New(s)
+	rng := rand.New(rand.NewSource(7))
+	topo := GenTopology(n, DefaultRegions(), rng)
+	counts := map[string]int{}
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		counts[topo.PickRegion().Name]++
+	}
+	majorShare := float64(counts["na"]+counts["eu"]+counts["as"]) / trials
+	if majorShare < 0.88 || majorShare > 0.96 {
+		t.Fatalf("NA+EU+Asia share = %.3f, want ~0.92", majorShare)
+	}
+}
+
+func TestPropertyDistanceSymmetric(t *testing.T) {
+	f := func(a1, a2, b1, b2 int16) bool {
+		p := GeoPoint{float64(a1%90) / 1.1, float64(a2 % 180)}
+		q := GeoPoint{float64(b1%90) / 1.1, float64(b2 % 180)}
+		d1, d2 := DistanceKm(p, q), DistanceKm(q, p)
+		return d1 >= 0 && almostEq(d1, d2, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func almostEq(a, b, tol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+func TestLinkCapacityDropsExcess(t *testing.T) {
+	n, a, b, c := lineNet(t)
+	const p = Prefix("svc")
+	a.SetRoute(p, b.ID)
+	b.SetRoute(p, c.ID)
+	c.SetRoute(p, c.ID)
+	// Constrain a-b to 100 pps with a 0.1 s queue (bucket of 10).
+	a.LinkTo(b.ID).SetCapacity(100, 0.1)
+	delivered := 0
+	c.SetHandler(func(simtime.Time, *Node, *Packet) { delivered++ })
+	// 1000 packets in one instant: only the bucket depth passes.
+	for i := 0; i < 1000; i++ {
+		a.Send(p, i)
+	}
+	n.Sched.Run()
+	if delivered < 8 || delivered > 12 {
+		t.Fatalf("delivered %d, want ~10 (bucket depth)", delivered)
+	}
+	if a.LinkTo(b.ID).Dropped[0] < 980 {
+		t.Fatalf("Dropped = %v", a.LinkTo(b.ID).Dropped)
+	}
+}
+
+func TestLinkCapacityRecovers(t *testing.T) {
+	n, a, b, c := lineNet(t)
+	const p = Prefix("svc")
+	a.SetRoute(p, b.ID)
+	b.SetRoute(p, c.ID)
+	c.SetRoute(p, c.ID)
+	a.LinkTo(b.ID).SetCapacity(100, 0.1)
+	delivered := 0
+	c.SetHandler(func(simtime.Time, *Node, *Packet) { delivered++ })
+	// 50 pps for 2 seconds: all pass (under capacity).
+	for i := 0; i < 100; i++ {
+		i := i
+		n.Sched.At(simtime.Time(i)*20*simtime.Millisecond, func(simtime.Time) { a.Send(p, i) })
+	}
+	n.Sched.Run()
+	if delivered != 100 {
+		t.Fatalf("delivered %d/100 under capacity", delivered)
+	}
+}
+
+func TestLinkUtilization(t *testing.T) {
+	n, a, b, _ := lineNet(t)
+	l := a.LinkTo(b.ID)
+	if l.Utilization(a.ID, 0) != 0 {
+		t.Fatal("unconstrained utilization nonzero")
+	}
+	l.SetCapacity(100, 0.1)
+	const p = Prefix("svc")
+	a.SetRoute(p, b.ID)
+	b.SetRoute(p, b.ID)
+	for i := 0; i < 8; i++ {
+		a.Send(p, i)
+	}
+	if u := l.Utilization(a.ID, n.Sched.Now()); u < 0.5 || u > 1 {
+		t.Fatalf("utilization = %v, want ~0.8", u)
+	}
+	// Direction isolation: B->A unaffected.
+	if u := l.Utilization(b.ID, n.Sched.Now()); u != 0 {
+		t.Fatalf("reverse utilization = %v", u)
+	}
+}
+
+func TestReverseRespectsCapacity(t *testing.T) {
+	n, a, b, c := lineNet(t)
+	const p = Prefix("svc")
+	a.SetRoute(p, b.ID)
+	b.SetRoute(p, c.ID)
+	c.SetRoute(p, c.ID)
+	// Tight reverse-direction bound on b->a.
+	a.LinkTo(b.ID).SetCapacity(1, 1)
+	got := 0
+	a.SetHandler(func(simtime.Time, *Node, *Packet) { got++ })
+	c.SetHandler(func(_ simtime.Time, nd *Node, pkt *netsimPacketAlias) { _ = pkt })
+	_ = got
+	// Direct check of admit on the reverse direction.
+	l := a.LinkTo(b.ID)
+	ok1 := l.admit(b.ID, n.Sched.Now())
+	ok2 := l.admit(b.ID, n.Sched.Now())
+	if !ok1 || ok2 {
+		t.Fatalf("reverse admits = %v %v, want true false", ok1, ok2)
+	}
+}
+
+type netsimPacketAlias = Packet

@@ -1,0 +1,142 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Region is a coarse geographic area used when generating topologies. The
+// paper reports 92% of queries arriving from North America, Europe, and
+// Asia; generators weight regions accordingly.
+type Region struct {
+	Name       string
+	Center     GeoPoint
+	SpreadDeg  float64 // stddev of node placement around the center
+	Weight     float64 // share of eyeball traffic
+	CoreRoters int     // transit routers in the region
+}
+
+// DefaultRegions is a six-region world model with traffic weights matching
+// the paper's geography (NA+EU+Asia ≈ 92%).
+func DefaultRegions() []Region {
+	return []Region{
+		{Name: "na", Center: GeoPoint{39, -98}, SpreadDeg: 12, Weight: 0.36, CoreRoters: 8},
+		{Name: "eu", Center: GeoPoint{50, 10}, SpreadDeg: 9, Weight: 0.30, CoreRoters: 8},
+		{Name: "as", Center: GeoPoint{30, 105}, SpreadDeg: 14, Weight: 0.26, CoreRoters: 8},
+		{Name: "sa", Center: GeoPoint{-15, -58}, SpreadDeg: 10, Weight: 0.04, CoreRoters: 3},
+		{Name: "af", Center: GeoPoint{2, 22}, SpreadDeg: 12, Weight: 0.02, CoreRoters: 3},
+		{Name: "oc", Center: GeoPoint{-27, 140}, SpreadDeg: 8, Weight: 0.02, CoreRoters: 2},
+	}
+}
+
+// Topology is a generated internet-like graph: a connected transit core with
+// stub attachment points for PoPs and vantage points.
+type Topology struct {
+	Net     *Network
+	Core    []*Node            // transit routers
+	ByRgn   map[string][]*Node // core routers per region
+	Regions []Region
+	rng     *rand.Rand
+}
+
+// GenTopology builds a random geo-embedded transit core: routers clustered
+// per region, a ring plus random chords inside each region, and multiple
+// inter-region backbone links.
+func GenTopology(net *Network, regions []Region, rng *rand.Rand) *Topology {
+	t := &Topology{Net: net, ByRgn: make(map[string][]*Node), Regions: regions, rng: rng}
+	for _, rg := range regions {
+		var nodes []*Node
+		for i := 0; i < rg.CoreRoters; i++ {
+			loc := t.jitter(rg.Center, rg.SpreadDeg)
+			nd := net.AddNode(fmt.Sprintf("core-%s-%d", rg.Name, i), loc)
+			nodes = append(nodes, nd)
+		}
+		// Ring for connectivity.
+		for i := range nodes {
+			net.Connect(nodes[i], nodes[(i+1)%len(nodes)])
+		}
+		// Random chords for path diversity.
+		for i := 0; i < len(nodes)/2; i++ {
+			a := nodes[rng.Intn(len(nodes))]
+			b := nodes[rng.Intn(len(nodes))]
+			if a != b {
+				net.Connect(a, b)
+			}
+		}
+		t.Core = append(t.Core, nodes...)
+		t.ByRgn[rg.Name] = nodes
+	}
+	// Backbone: connect each region pair with 2 links between random routers.
+	for i := 0; i < len(regions); i++ {
+		for j := i + 1; j < len(regions); j++ {
+			a := t.ByRgn[regions[i].Name]
+			b := t.ByRgn[regions[j].Name]
+			for k := 0; k < 2; k++ {
+				net.Connect(a[rng.Intn(len(a))], b[rng.Intn(len(b))])
+			}
+		}
+	}
+	return t
+}
+
+func (t *Topology) jitter(c GeoPoint, spread float64) GeoPoint {
+	lat := c.Lat + t.rng.NormFloat64()*spread
+	if lat > 85 {
+		lat = 85
+	}
+	if lat < -85 {
+		lat = -85
+	}
+	lon := c.Lon + t.rng.NormFloat64()*spread
+	for lon > 180 {
+		lon -= 360
+	}
+	for lon < -180 {
+		lon += 360
+	}
+	return GeoPoint{lat, lon}
+}
+
+// PickRegion draws a region according to traffic weights.
+func (t *Topology) PickRegion() Region {
+	x := t.rng.Float64()
+	acc := 0.0
+	for _, rg := range t.Regions {
+		acc += rg.Weight
+		if x < acc {
+			return rg
+		}
+	}
+	return t.Regions[len(t.Regions)-1]
+}
+
+// AttachStub creates a new stub node near a random core router of the given
+// region (or a weighted-random region when rgn == ""), links it to 1+extra
+// core routers, and returns it.
+func (t *Topology) AttachStub(name, rgn string, extraLinks int) *Node {
+	var rg Region
+	if rgn == "" {
+		rg = t.PickRegion()
+	} else {
+		for _, r := range t.Regions {
+			if r.Name == rgn {
+				rg = r
+			}
+		}
+		if rg.Name == "" {
+			panic("netsim: unknown region " + rgn)
+		}
+	}
+	cores := t.ByRgn[rg.Name]
+	primary := cores[t.rng.Intn(len(cores))]
+	loc := t.jitter(primary.Loc, 2.0)
+	nd := t.Net.AddNode(name, loc)
+	t.Net.Connect(nd, primary)
+	for i := 0; i < extraLinks; i++ {
+		other := cores[t.rng.Intn(len(cores))]
+		if other != primary {
+			t.Net.Connect(nd, other)
+		}
+	}
+	return nd
+}

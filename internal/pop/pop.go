@@ -1,0 +1,222 @@
+// Package pop composes one point of presence (Figure 6): a router fronting
+// several machines, each running the nameserver software, a BGP speaker
+// session to the router, and a monitoring agent. The router ECMP-hashes
+// arriving queries across the machines advertising the destination cloud;
+// input-delayed machines advertise at a worse MED and take traffic only
+// when every regular machine has withdrawn (§4.2.3).
+package pop
+
+import (
+	"hash/fnv"
+	"sync"
+
+	"akamaidns/internal/anycast"
+	"akamaidns/internal/bgp"
+	"akamaidns/internal/dnswire"
+	"akamaidns/internal/monitor"
+	"akamaidns/internal/nameserver"
+	"akamaidns/internal/netsim"
+	"akamaidns/internal/simtime"
+)
+
+// DNSPacket is the payload DNS queries ride in over netsim.
+type DNSPacket struct {
+	Resolver string
+	SrcPort  uint16
+	ASN      int
+	Msg      *dnswire.Message
+	Legit    bool
+	// IPTTLOverride, when positive, is the IP TTL the nameserver observes
+	// instead of the netsim hop-derived one — how a spoofing attacker
+	// forges the arrival TTL by crafting the initial TTL (§4.3.4 class 5).
+	IPTTLOverride int
+}
+
+// DNSResponse is the reply payload.
+type DNSResponse struct {
+	Msg *dnswire.Message
+	// PoP and Machine identify the responder (the failover experiment's
+	// vantage points use this to tell which PoP answered, §4.1).
+	PoP     string
+	Machine string
+}
+
+// Machine is one purpose-built server within the PoP.
+type Machine struct {
+	ID     string
+	Server *nameserver.Server
+	Agent  *monitor.Agent
+	// delayed marks the input-delayed instances.
+	delayed bool
+	// onFirstUse fires the first time the machine takes live traffic
+	// (input-delayed machines freeze their inputs then).
+	onFirstUse func(now simtime.Time)
+	usedOnce   bool
+}
+
+// Delayed reports whether this is an input-delayed machine.
+func (m *Machine) Delayed() bool { return m.delayed }
+
+// SetOnFirstUse installs the first-traffic hook.
+func (m *Machine) SetOnFirstUse(f func(now simtime.Time)) { m.onFirstUse = f }
+
+// PoP is one point of presence.
+type PoP struct {
+	Name    string
+	Node    *netsim.Node
+	Speaker *bgp.Speaker
+	Clouds  []anycast.CloudID
+
+	mu       sync.Mutex
+	machines []*Machine
+	// advertising tracks whether the router currently originates each cloud.
+	advertising map[anycast.CloudID]bool
+	// med per cloud for origination (allows TE overrides).
+	baseMED uint32
+
+	// Served counts queries handed to machines.
+	Served uint64
+}
+
+// New assembles a PoP on the given router node/speaker. Machines are added
+// with AddMachine; advertisement begins when the first healthy machine
+// appears.
+func New(name string, node *netsim.Node, speaker *bgp.Speaker, clouds []anycast.CloudID) *PoP {
+	p := &PoP{
+		Name: name, Node: node, Speaker: speaker,
+		Clouds:      append([]anycast.CloudID(nil), clouds...),
+		advertising: make(map[anycast.CloudID]bool),
+	}
+	node.SetHandler(p.handlePacket)
+	return p
+}
+
+// AddMachine registers a machine. The machine's suspension hook is chained
+// so PoP advertisement follows machine health.
+func (p *PoP) AddMachine(m *Machine) {
+	p.mu.Lock()
+	p.machines = append(p.machines, m)
+	p.mu.Unlock()
+	prev := m.Server.OnSuspendChange
+	m.Server.OnSuspendChange = func(now simtime.Time, suspended bool) {
+		if prev != nil {
+			prev(now, suspended)
+		}
+		p.Reconcile(now)
+	}
+	p.Reconcile(0)
+}
+
+// Machines returns the machine list.
+func (p *PoP) Machines() []*Machine {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]*Machine(nil), p.machines...)
+}
+
+// regulars/delayeds return currently-advertising machines of each class.
+func (p *PoP) active(delayed bool) []*Machine {
+	var out []*Machine
+	for _, m := range p.machines {
+		if m.delayed == delayed && !m.Server.Suspended() {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Reconcile recomputes the router's origination against machine health:
+// the router advertises a cloud while at least one machine (regular or
+// input-delayed) advertises it internally; it withdraws otherwise.
+func (p *PoP) Reconcile(now simtime.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	haveAny := len(p.active(false)) > 0 || len(p.active(true)) > 0
+	for _, c := range p.Clouds {
+		prefix := c.Prefix()
+		switch {
+		case haveAny && !p.advertising[c]:
+			p.Speaker.Originate(prefix, p.baseMED)
+			p.advertising[c] = true
+		case !haveAny && p.advertising[c]:
+			p.Speaker.WithdrawOrigin(prefix)
+			p.advertising[c] = false
+		}
+	}
+}
+
+// Advertising reports whether the PoP currently originates the cloud.
+func (p *PoP) Advertising(c anycast.CloudID) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.advertising[c]
+}
+
+// WithdrawAll withdraws every cloud (TE action or total-PoP failure) until
+// AdvertiseAll or the next Reconcile with healthy machines.
+func (p *PoP) WithdrawAll(now simtime.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range p.Clouds {
+		if p.advertising[c] {
+			p.Speaker.WithdrawOrigin(c.Prefix())
+			p.advertising[c] = false
+		}
+	}
+}
+
+// handlePacket is the router's delivery path: ECMP pick a machine among
+// those advertising, preferring regular machines (lower MED) over
+// input-delayed ones.
+func (p *PoP) handlePacket(now simtime.Time, node *netsim.Node, pkt *netsim.Packet) {
+	dp, ok := pkt.Payload.(*DNSPacket)
+	if !ok {
+		return
+	}
+	p.mu.Lock()
+	pool := p.active(false)
+	if len(pool) == 0 {
+		pool = p.active(true) // MED failover to input-delayed instances
+	}
+	if len(pool) == 0 {
+		p.mu.Unlock()
+		return // nothing to serve; packet dies (anycast reroute is BGP's job)
+	}
+	m := pool[ecmpHash(dp.Resolver, dp.SrcPort, string(pkt.Dst))%uint32(len(pool))]
+	p.Served++
+	p.mu.Unlock()
+
+	if !m.usedOnce {
+		m.usedOnce = true
+		if m.onFirstUse != nil {
+			m.onFirstUse(now)
+		}
+	}
+	ipttl := pkt.TTL
+	if dp.IPTTLOverride > 0 {
+		ipttl = dp.IPTTLOverride
+	}
+	req := &nameserver.Request{
+		Resolver: dp.Resolver,
+		ASN:      dp.ASN,
+		IPTTL:    ipttl,
+		Msg:      dp.Msg,
+		Legit:    dp.Legit,
+		Respond: func(t simtime.Time, resp *dnswire.Message) {
+			node.SendReverse(pkt, &DNSResponse{Msg: resp, PoP: p.Name, Machine: m.ID})
+		},
+	}
+	m.Server.Receive(now, req)
+}
+
+// ecmpHash mirrors the router's flow hash over (source address, source
+// port, destination prefix). Resolvers that vary their ephemeral port
+// spread across machines; fixed-port resolvers always hash to one machine
+// (§3.1).
+func ecmpHash(resolver string, port uint16, dst string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(resolver))
+	h.Write([]byte{byte(port >> 8), byte(port)})
+	h.Write([]byte(dst))
+	return h.Sum32()
+}

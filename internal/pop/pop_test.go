@@ -1,0 +1,256 @@
+package pop
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"akamaidns/internal/anycast"
+	"akamaidns/internal/bgp"
+	"akamaidns/internal/dnswire"
+	"akamaidns/internal/monitor"
+	"akamaidns/internal/netsim"
+	"akamaidns/internal/simtime"
+	"akamaidns/internal/zone"
+)
+
+const popZone = `
+$ORIGIN ex.com.
+@   IN SOA ns1 host ( 1 3600 600 604800 30 )
+@   IN NS ns1
+ns1 IN A 198.51.100.1
+www IN A 192.0.2.1
+`
+
+// rig builds: client -- router(PoP) line, with the PoP advertising cloud 0.
+type rig struct {
+	sched  *simtime.Scheduler
+	net    *netsim.Network
+	world  *bgp.World
+	client *netsim.Node
+	pop    *PoP
+	store  *zone.Store
+	coord  *monitor.Coordinator
+}
+
+func buildRig(t *testing.T, nMachines int, nDelayed int) *rig {
+	t.Helper()
+	sched := simtime.NewScheduler()
+	net := netsim.New(sched)
+	world := bgp.NewWorld(net, bgp.DefaultConfig(), rand.New(rand.NewSource(1)))
+	clientNode := net.AddNode("client", netsim.GeoPoint{})
+	routerNode := net.AddNode("pop-router", netsim.GeoPoint{Lat: 1})
+	net.ConnectDelay(clientNode, routerNode, 5*time.Millisecond)
+	clientSpeaker := world.AddSpeaker(clientNode, 65001)
+	routerSpeaker := world.AddSpeaker(routerNode, 65000)
+	world.Peer(clientSpeaker, routerSpeaker, nil, nil)
+
+	store := zone.NewStore()
+	store.Put(zone.MustParseMaster(popZone, dnswire.MustName("ex.com")))
+	coord := monitor.NewCoordinator(3, 100)
+	p := New("pop1", routerNode, routerSpeaker, []anycast.CloudID{0})
+	for i := 0; i < nMachines; i++ {
+		m := BuildMachine(sched, MachineSpec{ID: machineID(i), Delayed: false}, store, coord)
+		p.AddMachine(m)
+	}
+	for i := 0; i < nDelayed; i++ {
+		m := BuildMachine(sched, MachineSpec{ID: "delayed-" + machineID(i), Delayed: true}, store, coord)
+		p.AddMachine(m)
+	}
+	sched.RunFor(2 * time.Second) // BGP convergence
+	return &rig{sched: sched, net: net, world: world, client: clientNode, pop: p, store: store, coord: coord}
+}
+
+func machineID(i int) string { return string(rune('a'+i)) + "1" }
+
+// query sends one DNS query from the client into cloud 0 and returns the
+// response (nil on timeout within the window).
+func (r *rig) query(t *testing.T, resolver string, port uint16, qname string) *DNSResponse {
+	t.Helper()
+	var got *DNSResponse
+	r.client.SetHandler(func(_ simtime.Time, _ *netsim.Node, pkt *netsim.Packet) {
+		if resp, ok := pkt.Payload.(*DNSResponse); ok {
+			got = resp
+		}
+	})
+	r.client.Send(anycast.CloudID(0).Prefix(), &DNSPacket{
+		Resolver: resolver, SrcPort: port,
+		Msg: dnswire.NewQuery(1, dnswire.MustName(qname), dnswire.TypeA), Legit: true,
+	})
+	r.sched.RunFor(5 * time.Second)
+	return got
+}
+
+func TestPoPServesQuery(t *testing.T) {
+	r := buildRig(t, 2, 0)
+	resp := r.query(t, "10.0.0.1", 5353, "www.ex.com")
+	if resp == nil {
+		t.Fatal("no response")
+	}
+	if resp.PoP != "pop1" || len(resp.Msg.Answers) != 1 {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestECMPSpreadsByPort(t *testing.T) {
+	r := buildRig(t, 4, 0)
+	seen := map[string]bool{}
+	for port := uint16(1024); port < 1224; port++ {
+		resp := r.query(t, "10.0.0.1", port, "www.ex.com")
+		if resp == nil {
+			t.Fatal("no response")
+		}
+		seen[resp.Machine] = true
+	}
+	if len(seen) < 3 {
+		t.Fatalf("ECMP used only %d machines over 200 ports", len(seen))
+	}
+}
+
+func TestECMPStableForFixedPort(t *testing.T) {
+	r := buildRig(t, 4, 0)
+	first := r.query(t, "10.0.0.2", 53, "www.ex.com")
+	for i := 0; i < 10; i++ {
+		resp := r.query(t, "10.0.0.2", 53, "www.ex.com")
+		if resp == nil || resp.Machine != first.Machine {
+			t.Fatalf("fixed-port resolver moved machines: %v vs %v", resp, first)
+		}
+	}
+}
+
+func TestSuspendedMachineExcluded(t *testing.T) {
+	r := buildRig(t, 2, 0)
+	ms := r.pop.Machines()
+	ms[0].Server.SetSuspended(r.sched.Now(), true)
+	for port := uint16(2000); port < 2050; port++ {
+		resp := r.query(t, "10.0.0.3", port, "www.ex.com")
+		if resp == nil {
+			t.Fatal("no response while one machine healthy")
+		}
+		if resp.Machine == ms[0].ID {
+			t.Fatal("suspended machine served traffic")
+		}
+	}
+	if !r.pop.Advertising(0) {
+		t.Fatal("PoP withdrew with one healthy machine")
+	}
+}
+
+func TestAllSuspendedWithdrawsPoP(t *testing.T) {
+	r := buildRig(t, 2, 0)
+	for _, m := range r.pop.Machines() {
+		m.Server.SetSuspended(r.sched.Now(), true)
+	}
+	r.sched.RunFor(5 * time.Second)
+	if r.pop.Advertising(0) {
+		t.Fatal("PoP still advertising with all machines suspended")
+	}
+	if resp := r.query(t, "10.0.0.4", 9999, "www.ex.com"); resp != nil {
+		t.Fatal("withdrawn PoP answered")
+	}
+	// Recovery re-advertises.
+	r.pop.Machines()[0].Server.SetSuspended(r.sched.Now(), false)
+	r.sched.RunFor(5 * time.Second)
+	if !r.pop.Advertising(0) {
+		t.Fatal("PoP did not re-advertise")
+	}
+	if resp := r.query(t, "10.0.0.4", 9999, "www.ex.com"); resp == nil {
+		t.Fatal("recovered PoP did not answer")
+	}
+}
+
+func TestInputDelayedTakesOverOnlyWhenRegularsGone(t *testing.T) {
+	r := buildRig(t, 2, 1)
+	// Regulars healthy: delayed machine must see no traffic.
+	var delayed *Machine
+	for _, m := range r.pop.Machines() {
+		if m.Delayed() {
+			delayed = m
+		}
+	}
+	for port := uint16(3000); port < 3050; port++ {
+		resp := r.query(t, "10.0.0.5", port, "www.ex.com")
+		if resp != nil && resp.Machine == delayed.ID {
+			t.Fatal("input-delayed machine served while regulars healthy")
+		}
+	}
+	// Regulars die (e.g. poisoned input): delayed takes over.
+	frozeAt := simtime.Never
+	delayed.SetOnFirstUse(func(now simtime.Time) { frozeAt = now })
+	for _, m := range r.pop.Machines() {
+		if !m.Delayed() {
+			m.Server.SetSuspended(r.sched.Now(), true)
+		}
+	}
+	resp := r.query(t, "10.0.0.5", 4000, "www.ex.com")
+	if resp == nil || resp.Machine != delayed.ID {
+		t.Fatalf("input-delayed machine did not take over: %+v", resp)
+	}
+	if frozeAt == simtime.Never {
+		t.Fatal("first-use hook did not fire")
+	}
+	if r.pop.Advertising(0) != true {
+		t.Fatal("PoP withdrew despite input-delayed capacity")
+	}
+}
+
+func TestWithdrawAll(t *testing.T) {
+	r := buildRig(t, 1, 0)
+	r.pop.WithdrawAll(r.sched.Now())
+	r.sched.RunFor(5 * time.Second)
+	if r.pop.Advertising(0) {
+		t.Fatal("still advertising after WithdrawAll")
+	}
+	if resp := r.query(t, "10.0.0.6", 1111, "www.ex.com"); resp != nil {
+		t.Fatal("answered after WithdrawAll")
+	}
+	// Reconcile restores (machines are healthy).
+	r.pop.Reconcile(r.sched.Now())
+	r.sched.RunFor(5 * time.Second)
+	if resp := r.query(t, "10.0.0.6", 1111, "www.ex.com"); resp == nil {
+		t.Fatal("no answer after Reconcile")
+	}
+}
+
+func TestMonitoringAgentSuspendsCrashedMachine(t *testing.T) {
+	r := buildRig(t, 2, 0)
+	// Send the query-of-death with a port that hashes to some machine; its
+	// agent must suspend it and restart it later.
+	resp := r.query(t, "attacker", 7777, dnswire.QoDMarkerLabel+".ex.com")
+	if resp != nil {
+		t.Fatal("QoD got an answer")
+	}
+	crashed := 0
+	for _, m := range r.pop.Machines() {
+		if m.Server.Snapshot().Crashes > 0 {
+			crashed++
+		}
+	}
+	if crashed != 1 {
+		t.Fatalf("crashed machines = %d", crashed)
+	}
+	// After the restart delay the machine is back.
+	r.sched.RunFor(time.Minute)
+	for _, m := range r.pop.Machines() {
+		if m.Server.Suspended() {
+			t.Fatal("machine still suspended after restart")
+		}
+	}
+}
+
+func TestProbeZonesDetectsMissingZone(t *testing.T) {
+	store := zone.NewStore()
+	store.Put(zone.MustParseMaster(popZone, dnswire.MustName("ex.com")))
+	sched := simtime.NewScheduler()
+	m := BuildMachine(sched, MachineSpec{ID: "probe-test"}, store, nil)
+	if err := ProbeZones(m.Server.Engine); err != nil {
+		t.Fatalf("healthy store probed unhealthy: %v", err)
+	}
+	// A zone without SOA yields NOERROR/NODATA at apex... build a store
+	// whose zone answers REFUSED instead by removing all zones.
+	empty := zone.NewStore()
+	m2 := BuildMachine(sched, MachineSpec{ID: "probe-test-2"}, empty, nil)
+	if err := ProbeZones(m2.Server.Engine); err != nil {
+		t.Fatalf("empty store should probe clean (no zones): %v", err)
+	}
+}

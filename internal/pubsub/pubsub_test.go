@@ -1,0 +1,136 @@
+package pubsub
+
+import (
+	"testing"
+	"time"
+
+	"akamaidns/internal/simtime"
+)
+
+func TestPublishDelivery(t *testing.T) {
+	sched := simtime.NewScheduler()
+	b := NewBus(sched)
+	var got []Message
+	var at []simtime.Time
+	b.Subscribe("map", 100*time.Millisecond, func(now simtime.Time, m Message) {
+		got = append(got, m)
+		at = append(at, now)
+	})
+	b.Publish("map", "v1")
+	b.Publish("map", "v2")
+	sched.Run()
+	if len(got) != 2 {
+		t.Fatalf("delivered %d", len(got))
+	}
+	if got[0].Seq != 1 || got[1].Seq != 2 {
+		t.Fatalf("seqs = %d,%d", got[0].Seq, got[1].Seq)
+	}
+	if at[0] != simtime.Time(100*time.Millisecond) {
+		t.Fatalf("delivered at %v", at[0])
+	}
+	if got[0].Payload.(string) != "v1" {
+		t.Fatal("payload wrong")
+	}
+	pub, del := b.Counts()
+	if pub != 2 || del != 2 {
+		t.Fatalf("counts = %d/%d", pub, del)
+	}
+}
+
+func TestTopicsIsolated(t *testing.T) {
+	sched := simtime.NewScheduler()
+	b := NewBus(sched)
+	n := 0
+	b.Subscribe("a", 0, func(simtime.Time, Message) { n++ })
+	b.Publish("b", nil)
+	sched.Run()
+	if n != 0 {
+		t.Fatal("cross-topic delivery")
+	}
+}
+
+func TestInputDelayed(t *testing.T) {
+	sched := simtime.NewScheduler()
+	b := NewBus(sched)
+	var regular, delayed []simtime.Time
+	b.Subscribe("zone", time.Second, func(now simtime.Time, m Message) {
+		regular = append(regular, now)
+	})
+	b.SubscribeInputDelayed("zone", time.Second, time.Hour, func(now simtime.Time, m Message) {
+		delayed = append(delayed, now)
+	})
+	b.Publish("zone", "serial-7")
+	sched.Run()
+	if len(regular) != 1 || len(delayed) != 1 {
+		t.Fatalf("deliveries = %d/%d", len(regular), len(delayed))
+	}
+	if delayed[0]-regular[0] != simtime.Hour {
+		t.Fatalf("input delay = %v", delayed[0]-regular[0])
+	}
+}
+
+func TestFreezeStopsInFlight(t *testing.T) {
+	sched := simtime.NewScheduler()
+	b := NewBus(sched)
+	n := 0
+	sub := b.Subscribe("zone", time.Second, func(simtime.Time, Message) { n++ })
+	b.Publish("zone", nil)
+	// Freeze before the in-flight message lands.
+	sched.After(500*time.Millisecond, func(simtime.Time) { sub.Freeze() })
+	sched.Run()
+	if n != 0 {
+		t.Fatal("frozen subscriber received in-flight message")
+	}
+	if !sub.Frozen() {
+		t.Fatal("Frozen() false")
+	}
+	// Nothing after freeze either.
+	b.Publish("zone", nil)
+	sched.Run()
+	if n != 0 {
+		t.Fatal("frozen subscriber received new message")
+	}
+}
+
+func TestLostAndRecovered(t *testing.T) {
+	sched := simtime.NewScheduler()
+	b := NewBus(sched)
+	n := 0
+	sub := b.Subscribe("map", time.Millisecond, func(simtime.Time, Message) { n++ })
+	sub.SetLost(true)
+	b.Publish("map", "lost-1")
+	sched.Run()
+	if n != 0 {
+		t.Fatal("lost subscriber received")
+	}
+	sub.SetLost(false)
+	b.Publish("map", "ok-1")
+	sched.Run()
+	if n != 1 {
+		t.Fatalf("recovered subscriber got %d", n)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	sched := simtime.NewScheduler()
+	b := NewBus(sched)
+	n := 0
+	sub := b.Subscribe("map", 0, func(simtime.Time, Message) { n++ })
+	sub.Cancel()
+	b.Publish("map", nil)
+	sched.Run()
+	if n != 0 {
+		t.Fatal("cancelled subscriber received")
+	}
+}
+
+func TestSeqPerTopic(t *testing.T) {
+	sched := simtime.NewScheduler()
+	b := NewBus(sched)
+	m1 := b.Publish("a", nil)
+	m2 := b.Publish("b", nil)
+	m3 := b.Publish("a", nil)
+	if m1.Seq != 1 || m2.Seq != 1 || m3.Seq != 2 {
+		t.Fatalf("seqs = %d/%d/%d", m1.Seq, m2.Seq, m3.Seq)
+	}
+}

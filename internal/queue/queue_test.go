@@ -1,0 +1,200 @@
+package queue
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{MaxScores: []float64{0, 0}, Smax: 10, Capacity: 1},
+		{MaxScores: []float64{10, 5}, Smax: 20, Capacity: 1},
+		{MaxScores: []float64{0, 10}, Smax: 10, Capacity: 1},
+		{MaxScores: []float64{0}, Smax: 10, Capacity: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := New(DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnqueuePlacement(t *testing.T) {
+	q := MustNew(Config{MaxScores: []float64{0, 50, 100}, Smax: 150, Capacity: 10})
+	cases := []struct {
+		score float64
+		queue int
+	}{
+		{0, 0}, {1, 1}, {50, 1}, {51, 2}, {100, 2}, {101, 2}, {149, 2},
+	}
+	for _, c := range cases {
+		if got := q.Enqueue(c.score, nil); got != Accepted {
+			t.Fatalf("Enqueue(%v) = %v", c.score, got)
+		}
+	}
+	// Check depths: queue0 has 1, queue1 has 2, queue2 has 4.
+	if q.QueueLen(0) != 1 || q.QueueLen(1) != 2 || q.QueueLen(2) != 4 {
+		t.Fatalf("depths = %d/%d/%d", q.QueueLen(0), q.QueueLen(1), q.QueueLen(2))
+	}
+	// Scores in (100, 150) land in the last queue; >= Smax is discarded.
+	if got := q.Enqueue(150, nil); got != Discarded {
+		t.Fatalf("Enqueue(Smax) = %v", got)
+	}
+	if got := q.Enqueue(1e9, nil); got != Discarded {
+		t.Fatalf("Enqueue(huge) = %v", got)
+	}
+}
+
+func TestDequeueStrictPriority(t *testing.T) {
+	q := MustNew(Config{MaxScores: []float64{0, 50}, Smax: 100, Capacity: 100})
+	q.Enqueue(60, "bad1")
+	q.Enqueue(0, "good1")
+	q.Enqueue(60, "bad2")
+	q.Enqueue(0, "good2")
+	want := []string{"good1", "good2", "bad1", "bad2"}
+	for _, w := range want {
+		it, ok := q.Dequeue()
+		if !ok || it.Payload.(string) != w {
+			t.Fatalf("got %v, want %s", it.Payload, w)
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("Dequeue on empty returned item")
+	}
+}
+
+func TestWorkConserving(t *testing.T) {
+	q := MustNew(DefaultConfig())
+	q.Enqueue(150, "suspicious")
+	it, ok := q.Dequeue()
+	if !ok || it.Payload.(string) != "suspicious" {
+		t.Fatal("suspicious query not served when queues above are empty")
+	}
+}
+
+func TestTailDrop(t *testing.T) {
+	q := MustNew(Config{MaxScores: []float64{0}, Smax: 10, Capacity: 2})
+	q.Enqueue(0, 1)
+	q.Enqueue(0, 2)
+	if got := q.Enqueue(0, 3); got != TailDropped {
+		t.Fatalf("third enqueue = %v", got)
+	}
+	s := q.Stats()
+	if s.TailDropped != 1 || s.Enqueued != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestStatsAndDrain(t *testing.T) {
+	q := MustNew(DefaultConfig())
+	for i := 0; i < 10; i++ {
+		q.Enqueue(float64(i*30), i)
+	}
+	q.Dequeue()
+	s := q.Stats()
+	// Scores 210/240/270 exceed Smax=200 and are discarded.
+	if s.Enqueued != 7 || s.Dequeued != 1 || s.Discarded != 3 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if n := q.Drain(); n != 6 {
+		t.Fatalf("Drain = %d", n)
+	}
+	if q.Len() != 0 {
+		t.Fatal("Len after drain")
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	f := NewFIFO(10)
+	f.Enqueue(90, "a")
+	f.Enqueue(0, "b")
+	it, _ := f.Dequeue()
+	if it.Payload.(string) != "a" {
+		t.Fatal("FIFO reordered")
+	}
+	if f.Len() != 1 {
+		t.Fatal("Len wrong")
+	}
+	f.Enqueue(0, "c")
+	// Fill to capacity.
+	for i := 0; i < 20; i++ {
+		f.Enqueue(0, i)
+	}
+	if f.Stats().TailDropped == 0 {
+		t.Fatal("FIFO never tail-dropped")
+	}
+	if n := f.Drain(); n == 0 {
+		t.Fatal("Drain empty")
+	}
+}
+
+func TestPropertyPriorityInvariant(t *testing.T) {
+	// Whatever the arrival order, a dequeued item's queue index is never
+	// higher than that of any item still waiting in a lower-index queue.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := MustNew(Config{MaxScores: []float64{0, 50, 100}, Smax: 200, Capacity: 1000})
+		for i := 0; i < 200; i++ {
+			q.Enqueue(rng.Float64()*199, i)
+		}
+		prevClass := -1
+		classOf := func(score float64) int {
+			switch {
+			case score <= 0:
+				return 0
+			case score <= 50:
+				return 1
+			default:
+				return 2
+			}
+		}
+		_ = prevClass
+		// Dequeue everything; within one full drain (no concurrent
+		// arrivals) the class sequence must be nondecreasing.
+		last := -1
+		for {
+			it, ok := q.Dequeue()
+			if !ok {
+				break
+			}
+			c := classOf(it.Score)
+			if c < last {
+				return false
+			}
+			last = c
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	q := MustNew(DefaultConfig())
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 5000; i++ {
+				q.Enqueue(rng.Float64()*250, i)
+				if i%2 == 0 {
+					q.Dequeue()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := q.Stats()
+	if s.Enqueued+s.Discarded == 0 {
+		t.Fatal("no activity recorded")
+	}
+}

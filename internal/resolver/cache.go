@@ -1,0 +1,114 @@
+// Package resolver models the client-side DNS system: a caching recursive
+// resolver that iteratively follows delegations, retries across a zone's
+// nameserver set on timeout (the behaviour §4.3.1's resilience argument
+// depends on), and selects among delegations either uniformly or weighted
+// by observed RTT — the two behaviours bracketed in §5.2's Two-Tier
+// analysis.
+package resolver
+
+import (
+	"sync"
+	"time"
+
+	"akamaidns/internal/dnswire"
+	"akamaidns/internal/simtime"
+)
+
+type cacheKey struct {
+	name dnswire.Name
+	typ  dnswire.Type
+}
+
+type cacheEntry struct {
+	rrs      []dnswire.RR
+	expires  simtime.Time
+	negative bool // cached NXDOMAIN/NODATA
+	negRCode dnswire.RCode
+}
+
+// Cache is a TTL-respecting RRset cache.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[cacheKey]*cacheEntry
+	// Hits/Misses count lookups.
+	Hits, Misses uint64
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[cacheKey]*cacheEntry)}
+}
+
+// Put stores an RRset under (name, typ) honouring the minimum TTL across
+// the set.
+func (c *Cache) Put(now simtime.Time, name dnswire.Name, typ dnswire.Type, rrs []dnswire.RR) {
+	if len(rrs) == 0 {
+		return
+	}
+	minTTL := rrs[0].Header().TTL
+	for _, rr := range rrs[1:] {
+		if rr.Header().TTL < minTTL {
+			minTTL = rr.Header().TTL
+		}
+	}
+	cp := make([]dnswire.RR, len(rrs))
+	for i, rr := range rrs {
+		cp[i] = rr.Copy()
+	}
+	c.mu.Lock()
+	c.entries[cacheKey{name, typ}] = &cacheEntry{
+		rrs:     cp,
+		expires: now.Add(time.Duration(minTTL) * time.Second),
+	}
+	c.mu.Unlock()
+}
+
+// PutNegative caches a negative answer (NXDOMAIN or NODATA, per rcode) for
+// ttl seconds.
+func (c *Cache) PutNegative(now simtime.Time, name dnswire.Name, typ dnswire.Type, ttl uint32, rcode dnswire.RCode) {
+	c.mu.Lock()
+	c.entries[cacheKey{name, typ}] = &cacheEntry{
+		negative: true,
+		negRCode: rcode,
+		expires:  now.Add(time.Duration(ttl) * time.Second),
+	}
+	c.mu.Unlock()
+}
+
+// Get returns the cached RRset if fresh. negative reports a cached negative
+// answer; its RCode is returned alongside.
+func (c *Cache) Get(now simtime.Time, name dnswire.Name, typ dnswire.Type) (rrs []dnswire.RR, negative bool, negRCode dnswire.RCode, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, found := c.entries[cacheKey{name, typ}]
+	if !found || now >= e.expires {
+		if found {
+			delete(c.entries, cacheKey{name, typ})
+		}
+		c.Misses++
+		return nil, false, 0, false
+	}
+	c.Hits++
+	if e.negative {
+		return nil, true, e.negRCode, true
+	}
+	out := make([]dnswire.RR, len(e.rrs))
+	for i, rr := range e.rrs {
+		out[i] = rr.Copy()
+	}
+	return out, false, 0, true
+}
+
+// Len reports live entries (expired entries may linger until touched).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Flush clears everything.
+func (c *Cache) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[cacheKey]*cacheEntry)
+}

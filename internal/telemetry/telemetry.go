@@ -1,0 +1,248 @@
+// Package telemetry implements the remaining Figure 5 components: the Data
+// Collection/Aggregation system that compiles per-nameserver metrics into
+// per-enterprise traffic reports for the Management Portal, and the
+// NOCC-facing side of Monitoring/Automated Recovery — aggregating health
+// across nameservers, tracking trends, and raising alerts for human
+// operators when anomalies occur (§3.2).
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"akamaidns/internal/dnswire"
+	"akamaidns/internal/simtime"
+)
+
+// Sample is one machine's counters at a collection tick.
+type Sample struct {
+	Machine   string
+	PoP       string
+	At        simtime.Time
+	Received  uint64
+	Answered  uint64
+	NXDomain  uint64
+	Crashes   uint64
+	Suspended bool
+}
+
+// ZoneSample is per-zone traffic attribution for enterprise reports.
+type ZoneSample struct {
+	Zone    dnswire.Name
+	At      simtime.Time
+	Queries uint64
+}
+
+// AlertKind classifies NOCC alerts.
+type AlertKind int
+
+// Alert kinds.
+const (
+	AlertCrashSpike AlertKind = iota + 1
+	AlertSuspensionWave
+	AlertNXDomainSurge
+	AlertServeRateDrop
+)
+
+func (k AlertKind) String() string {
+	switch k {
+	case AlertCrashSpike:
+		return "crash-spike"
+	case AlertSuspensionWave:
+		return "suspension-wave"
+	case AlertNXDomainSurge:
+		return "nxdomain-surge"
+	case AlertServeRateDrop:
+		return "serve-rate-drop"
+	default:
+		return fmt.Sprintf("AlertKind(%d)", int(k))
+	}
+}
+
+// Alert is one operator notification.
+type Alert struct {
+	At      simtime.Time
+	Kind    AlertKind
+	Subject string
+	Detail  string
+}
+
+func (a Alert) String() string {
+	return fmt.Sprintf("%v [%s] %s: %s", a.At, a.Kind, a.Subject, a.Detail)
+}
+
+// Thresholds tunes anomaly detection.
+type Thresholds struct {
+	// CrashesPerWindow fires AlertCrashSpike when a machine crashes this
+	// often within one collection window.
+	CrashesPerWindow uint64
+	// SuspendedFraction fires AlertSuspensionWave when this share of
+	// machines is suspended simultaneously.
+	SuspendedFraction float64
+	// NXDomainFraction fires AlertNXDomainSurge when NXDOMAIN exceeds this
+	// share of answers in a window (legitimate traffic runs ~0.5%).
+	NXDomainFraction float64
+	// ServeRateDropFraction fires AlertServeRateDrop when answered/received
+	// falls below this.
+	ServeRateDropFraction float64
+	// MinWindowAnswers is the minimum per-window answer volume before the
+	// rate-based detectors (NXDOMAIN share, serve rate) evaluate — small
+	// windows are statistically meaningless and would page operators on
+	// noise.
+	MinWindowAnswers uint64
+}
+
+// DefaultThresholds reflect the paper's operating colour.
+func DefaultThresholds() Thresholds {
+	return Thresholds{
+		CrashesPerWindow:      3,
+		SuspendedFraction:     0.25,
+		NXDomainFraction:      0.05,
+		ServeRateDropFraction: 0.5,
+		MinWindowAnswers:      50,
+	}
+}
+
+// Collector aggregates samples, produces reports, and raises alerts.
+type Collector struct {
+	Cfg Thresholds
+
+	mu sync.Mutex
+	// prev holds each machine's previous sample for windowed deltas.
+	prev map[string]Sample
+	// zoneTotals accumulates per-zone queries.
+	zoneTotals map[dnswire.Name]uint64
+	alerts     []Alert
+	// machines tracks last-known suspension state.
+	suspended map[string]bool
+	known     map[string]bool
+}
+
+// NewCollector builds a collector.
+func NewCollector(cfg Thresholds) *Collector {
+	return &Collector{
+		Cfg:        cfg,
+		prev:       make(map[string]Sample),
+		zoneTotals: make(map[dnswire.Name]uint64),
+		suspended:  make(map[string]bool),
+		known:      make(map[string]bool),
+	}
+}
+
+// Observe ingests one machine sample, evaluating windowed anomalies against
+// the machine's previous sample.
+func (c *Collector) Observe(s Sample) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.known[s.Machine] = true
+	c.suspended[s.Machine] = s.Suspended
+	if p, ok := c.prev[s.Machine]; ok {
+		dCrash := s.Crashes - p.Crashes
+		dRecv := s.Received - p.Received
+		dAns := s.Answered - p.Answered
+		dNX := s.NXDomain - p.NXDomain
+		if dCrash >= c.Cfg.CrashesPerWindow {
+			c.alert(s.At, AlertCrashSpike, s.Machine,
+				fmt.Sprintf("%d crashes in one window", dCrash))
+		}
+		if dAns >= c.Cfg.MinWindowAnswers && float64(dNX)/float64(dAns) >= c.Cfg.NXDomainFraction {
+			c.alert(s.At, AlertNXDomainSurge, s.Machine,
+				fmt.Sprintf("NXDOMAIN %.1f%% of answers (normal ~0.5%%)", float64(dNX)/float64(dAns)*100))
+		}
+		if dRecv >= c.Cfg.MinWindowAnswers && float64(dAns)/float64(dRecv) < c.Cfg.ServeRateDropFraction {
+			c.alert(s.At, AlertServeRateDrop, s.Machine,
+				fmt.Sprintf("answered %d of %d received", dAns, dRecv))
+		}
+	}
+	c.prev[s.Machine] = s
+	// Fleet-wide suspension wave.
+	susp := 0
+	for _, v := range c.suspended {
+		if v {
+			susp++
+		}
+	}
+	if len(c.known) > 0 {
+		frac := float64(susp) / float64(len(c.known))
+		if frac >= c.Cfg.SuspendedFraction && susp > 1 {
+			c.alert(s.At, AlertSuspensionWave, "fleet",
+				fmt.Sprintf("%d/%d machines suspended", susp, len(c.known)))
+		}
+	}
+}
+
+// ObserveZone ingests per-zone traffic attribution.
+func (c *Collector) ObserveZone(z ZoneSample) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.zoneTotals[z.Zone] += z.Queries
+}
+
+func (c *Collector) alert(at simtime.Time, kind AlertKind, subject, detail string) {
+	// Deduplicate: suppress a repeat of the same (kind, subject) if it is
+	// the most recent alert (operators act on the first).
+	if n := len(c.alerts); n > 0 {
+		last := c.alerts[n-1]
+		if last.Kind == kind && last.Subject == subject {
+			return
+		}
+	}
+	c.alerts = append(c.alerts, Alert{At: at, Kind: kind, Subject: subject, Detail: detail})
+}
+
+// Alerts returns the NOCC alert stream so far.
+func (c *Collector) Alerts() []Alert {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Alert(nil), c.alerts...)
+}
+
+// FleetReport is the aggregate health view.
+type FleetReport struct {
+	Machines  int
+	Suspended int
+	Received  uint64
+	Answered  uint64
+	Crashes   uint64
+}
+
+// Fleet compiles the current fleet-wide totals from the latest samples.
+func (c *Collector) Fleet() FleetReport {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := FleetReport{Machines: len(c.prev)}
+	for _, s := range c.prev {
+		if s.Suspended {
+			r.Suspended++
+		}
+		r.Received += s.Received
+		r.Answered += s.Answered
+		r.Crashes += s.Crashes
+	}
+	return r
+}
+
+// EnterpriseReport is a per-zone traffic row for the Management Portal.
+type EnterpriseReport struct {
+	Zone    dnswire.Name
+	Queries uint64
+}
+
+// TrafficReports returns per-zone totals, busiest first — the "Traffic
+// Reports" arrow of Figure 5.
+func (c *Collector) TrafficReports() []EnterpriseReport {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]EnterpriseReport, 0, len(c.zoneTotals))
+	for z, q := range c.zoneTotals {
+		out = append(out, EnterpriseReport{Zone: z, Queries: q})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Queries != out[j].Queries {
+			return out[i].Queries > out[j].Queries
+		}
+		return out[i].Zone.Compare(out[j].Zone) < 0
+	})
+	return out
+}

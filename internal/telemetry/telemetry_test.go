@@ -1,0 +1,122 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"akamaidns/internal/dnswire"
+	"akamaidns/internal/simtime"
+)
+
+func TestCrashSpikeAlert(t *testing.T) {
+	c := NewCollector(DefaultThresholds())
+	c.Observe(Sample{Machine: "m1", At: 0, Crashes: 0})
+	c.Observe(Sample{Machine: "m1", At: simtime.Minute, Crashes: 5})
+	alerts := c.Alerts()
+	if len(alerts) != 1 || alerts[0].Kind != AlertCrashSpike {
+		t.Fatalf("alerts = %v", alerts)
+	}
+	if !strings.Contains(alerts[0].String(), "crash-spike") {
+		t.Fatalf("alert rendering: %s", alerts[0])
+	}
+}
+
+func TestNoAlertBelowThresholds(t *testing.T) {
+	c := NewCollector(DefaultThresholds())
+	c.Observe(Sample{Machine: "m1", At: 0, Received: 100, Answered: 100})
+	c.Observe(Sample{Machine: "m1", At: simtime.Minute, Received: 1100, Answered: 1098, NXDomain: 5, Crashes: 1})
+	if got := c.Alerts(); len(got) != 0 {
+		t.Fatalf("spurious alerts: %v", got)
+	}
+}
+
+func TestNXDomainSurgeAlert(t *testing.T) {
+	c := NewCollector(DefaultThresholds())
+	c.Observe(Sample{Machine: "m1", At: 0, Received: 0, Answered: 0})
+	// 30% NXDOMAIN: a random-subdomain attack signature.
+	c.Observe(Sample{Machine: "m1", At: simtime.Minute, Received: 1000, Answered: 1000, NXDomain: 300})
+	alerts := c.Alerts()
+	if len(alerts) != 1 || alerts[0].Kind != AlertNXDomainSurge {
+		t.Fatalf("alerts = %v", alerts)
+	}
+}
+
+func TestServeRateDropAlert(t *testing.T) {
+	c := NewCollector(DefaultThresholds())
+	c.Observe(Sample{Machine: "m1", At: 0})
+	c.Observe(Sample{Machine: "m1", At: simtime.Minute, Received: 1000, Answered: 200})
+	alerts := c.Alerts()
+	if len(alerts) != 1 || alerts[0].Kind != AlertServeRateDrop {
+		t.Fatalf("alerts = %v", alerts)
+	}
+}
+
+func TestSuspensionWaveAlert(t *testing.T) {
+	c := NewCollector(DefaultThresholds())
+	for _, m := range []string{"m1", "m2", "m3", "m4"} {
+		c.Observe(Sample{Machine: m, At: 0})
+	}
+	c.Observe(Sample{Machine: "m1", At: simtime.Minute, Suspended: true})
+	if len(c.Alerts()) != 0 {
+		t.Fatal("single suspension raised a wave alert")
+	}
+	c.Observe(Sample{Machine: "m2", At: simtime.Minute, Suspended: true})
+	alerts := c.Alerts()
+	if len(alerts) != 1 || alerts[0].Kind != AlertSuspensionWave {
+		t.Fatalf("alerts = %v", alerts)
+	}
+}
+
+func TestAlertDeduplication(t *testing.T) {
+	c := NewCollector(DefaultThresholds())
+	c.Observe(Sample{Machine: "m1", At: 0})
+	c.Observe(Sample{Machine: "m1", At: simtime.Minute, Crashes: 5})
+	c.Observe(Sample{Machine: "m1", At: 2 * simtime.Minute, Crashes: 10})
+	if got := c.Alerts(); len(got) != 1 {
+		t.Fatalf("repeat alert not suppressed: %v", got)
+	}
+}
+
+func TestFleetReport(t *testing.T) {
+	c := NewCollector(DefaultThresholds())
+	c.Observe(Sample{Machine: "m1", At: 0, Received: 100, Answered: 90, Crashes: 1})
+	c.Observe(Sample{Machine: "m2", At: 0, Received: 50, Answered: 50, Suspended: true})
+	r := c.Fleet()
+	if r.Machines != 2 || r.Suspended != 1 || r.Received != 150 || r.Answered != 140 || r.Crashes != 1 {
+		t.Fatalf("fleet = %+v", r)
+	}
+}
+
+func TestTrafficReportsOrdered(t *testing.T) {
+	c := NewCollector(DefaultThresholds())
+	zs := []struct {
+		zone string
+		q    uint64
+	}{{"small.test", 10}, {"big.test", 1000}, {"mid.test", 100}, {"big.test", 500}}
+	for _, z := range zs {
+		c.ObserveZone(ZoneSample{Zone: dnswire.MustName(z.zone), Queries: z.q})
+	}
+	reports := c.TrafficReports()
+	if len(reports) != 3 {
+		t.Fatalf("reports = %v", reports)
+	}
+	if reports[0].Zone != dnswire.MustName("big.test") || reports[0].Queries != 1500 {
+		t.Fatalf("top report = %+v", reports[0])
+	}
+	for i := 1; i < len(reports); i++ {
+		if reports[i].Queries > reports[i-1].Queries {
+			t.Fatal("reports not ordered")
+		}
+	}
+}
+
+func TestAlertKindStrings(t *testing.T) {
+	for k := AlertCrashSpike; k <= AlertServeRateDrop; k++ {
+		if strings.HasPrefix(k.String(), "AlertKind(") {
+			t.Fatalf("kind %d unnamed", k)
+		}
+	}
+	if AlertKind(99).String() != "AlertKind(99)" {
+		t.Fatal("unknown kind rendering")
+	}
+}

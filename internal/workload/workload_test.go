@@ -1,0 +1,314 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"akamaidns/internal/stats"
+)
+
+func pop(t *testing.T) *Population {
+	t.Helper()
+	cfg := Config{NumResolvers: 20_000, NumASNs: 500, NumZones: 2_000, TotalQPS: 4750}
+	return NewPopulation(cfg, rand.New(rand.NewSource(42)))
+}
+
+func TestCalibrateZipfHitsTarget(t *testing.T) {
+	for _, c := range []struct {
+		n           int
+		frac, share float64
+	}{
+		{10000, 0.03, 0.80},
+		{10000, 0.01, 0.88},
+		{500, 0.01, 0.83},
+	} {
+		s := CalibrateZipf(c.n, c.frac, c.share)
+		got := TopShare(ZipfWeights(c.n, s), c.frac)
+		if math.Abs(got-c.share) > 0.02 {
+			t.Errorf("CalibrateZipf(%d, %v, %v): share %v", c.n, c.frac, c.share, got)
+		}
+	}
+}
+
+func TestResolverConcentrationMatchesFig2(t *testing.T) {
+	p := pop(t)
+	vols := make([]float64, len(p.Resolvers))
+	for i, r := range p.Resolvers {
+		vols[i] = r.Weight
+	}
+	c := stats.NewConcentration(vols)
+	if got := c.TopShare(TopIPFrac); math.Abs(got-TopIPShare) > 0.03 {
+		t.Fatalf("top 3%% IPs drive %.3f of queries, want ~0.80", got)
+	}
+}
+
+func TestZoneConcentrationMatchesFig2(t *testing.T) {
+	p := pop(t)
+	vols := make([]float64, len(p.Zones))
+	for i, z := range p.Zones {
+		vols[i] = z.Weight
+	}
+	c := stats.NewConcentration(vols)
+	if got := c.TopShare(TopZoneFrac); math.Abs(got-TopZoneShare) > 0.03 {
+		t.Fatalf("top 1%% zones get %.3f, want ~0.88", got)
+	}
+	// Top single zone ~5.5% — generous band since it depends on n.
+	if got := c.ShareOfTopKey(); got < 0.03 || got > 0.12 {
+		t.Fatalf("top zone share = %.3f, want ~0.055", got)
+	}
+}
+
+func TestASNConcentration(t *testing.T) {
+	p := pop(t)
+	byASN := map[int]float64{}
+	for _, r := range p.Resolvers {
+		byASN[r.ASN] += r.Weight
+	}
+	vols := make([]float64, 0, len(byASN))
+	for _, v := range byASN {
+		vols = append(vols, v)
+	}
+	c := stats.NewConcentration(vols)
+	got := c.TopShare(TopASNFrac)
+	// The resolver->ASN composition blurs the pure Zipf; accept a broad
+	// band around the paper's 83%.
+	if got < 0.55 || got > 0.95 {
+		t.Fatalf("top 1%% ASNs get %.3f, want high concentration (~0.83)", got)
+	}
+}
+
+func TestRegionalMix(t *testing.T) {
+	p := pop(t)
+	major := 0.0
+	total := 0.0
+	for _, r := range p.Resolvers {
+		total += r.Weight
+		if r.Region == "na" || r.Region == "eu" || r.Region == "as" {
+			major += r.Weight
+		}
+	}
+	share := major / total
+	if share < 0.85 || share > 0.98 {
+		t.Fatalf("NA+EU+Asia share = %.3f, want ~0.92", share)
+	}
+}
+
+func TestQPSCurveMatchesFig1(t *testing.T) {
+	p := pop(t)
+	_, qps := p.WeekCurve(0.25)
+	d := stats.NewDist(qps)
+	// Paper: 3.9M to 5.6M around ~4.75M; our scale is /1000. Ratio of
+	// max/min ~1.44.
+	ratio := d.Max() / d.Min()
+	if ratio < 1.2 || ratio > 1.6 {
+		t.Fatalf("diurnal swing ratio = %.2f, want ~1.4", ratio)
+	}
+	// Weekday rates exceed weekend rates on average.
+	weekday, weekend := 0.0, 0.0
+	hours, qps2 := p.WeekCurve(1)
+	nd, ne := 0, 0
+	for i, h := range hours {
+		day := int(h / 24)
+		if day == 0 || day == 6 {
+			weekend += qps2[i]
+			ne++
+		} else {
+			weekday += qps2[i]
+			nd++
+		}
+	}
+	if weekday/float64(nd) <= weekend/float64(ne) {
+		t.Fatal("no weekday/weekend structure")
+	}
+}
+
+func TestNameserverViewMatchesFig3(t *testing.T) {
+	p := pop(t)
+	avg, max := p.NameserverView(20_000, 400)
+	davg := stats.NewDist(avg)
+	// "less than 1% sent greater than 1 qps on average"
+	if frac := davg.FractionAbove(1.0); frac >= 0.01 {
+		t.Fatalf("%.4f of resolvers average >1 qps, want <0.01", frac)
+	}
+	// Bursty: the global max/avg ratio is large.
+	dmax := stats.NewDist(max)
+	if dmax.Max() < 3*davg.Max() {
+		t.Fatalf("peak %.0f vs avg-max %.0f: insufficient burstiness", dmax.Max(), davg.Max())
+	}
+	for i := range avg {
+		if max[i] < avg[i] {
+			t.Fatalf("resolver %d: max %.2f < avg %.2f", i, max[i], avg[i])
+		}
+	}
+}
+
+func TestWeeklyStabilityMatchesFig4(t *testing.T) {
+	p := pop(t)
+	// Pool many adjacent week pairs so the statistic is stable.
+	var diffs, weights []float64
+	for w := 1; w <= 20; w++ {
+		w1 := p.WeeklyVolumes(w)
+		w2 := p.WeeklyVolumes(w + 1)
+		for i := range w1 {
+			if w1[i] <= 0 {
+				continue
+			}
+			diffs = append(diffs, (w2[i]-w1[i])/w1[i]*100)
+			weights = append(weights, w1[i])
+		}
+	}
+	wd := stats.NewWeightedDist(diffs, weights)
+	within10 := wd.CDF(10) - wd.CDF(-10)
+	// Paper: 53% of weighted resolvers within ±10%.
+	if within10 < 0.40 || within10 > 0.70 {
+		t.Fatalf("weighted within ±10%% = %.3f, want ~0.53", within10)
+	}
+}
+
+func TestTopResolverListStability(t *testing.T) {
+	p := pop(t)
+	// Paper: week-to-week top-3% lists share 85-98% of members (mean 92%).
+	prev := TopResolverSet(p.WeeklyVolumes(0), 0.03)
+	overlaps := []float64{}
+	for w := 1; w <= 8; w++ {
+		cur := TopResolverSet(p.WeeklyVolumes(w), 0.03)
+		overlaps = append(overlaps, SetOverlap(prev, cur))
+		prev = cur
+	}
+	d := stats.NewDist(overlaps)
+	if d.Mean() < 0.82 || d.Mean() > 0.99 {
+		t.Fatalf("mean week-to-week overlap = %.3f, want ~0.92", d.Mean())
+	}
+}
+
+func TestSampleQueryDistributions(t *testing.T) {
+	p := pop(t)
+	const trials = 200_000
+	nx := 0
+	ttlVaried := map[int]bool{}
+	base := map[int]int{}
+	for i := 0; i < trials; i++ {
+		ev := p.SampleQuery()
+		if ev.NXDomain {
+			nx++
+		}
+		if b, ok := base[ev.ResolverIdx]; ok && b != ev.IPTTL {
+			ttlVaried[ev.ResolverIdx] = true
+		} else if !ok {
+			base[ev.ResolverIdx] = ev.IPTTL
+		}
+		if ev.Hostname == "" || ev.ZoneIdx < 0 {
+			t.Fatal("malformed event")
+		}
+	}
+	rate := float64(nx) / trials
+	if rate < 0.003 || rate > 0.008 {
+		t.Fatalf("NXDOMAIN rate = %.4f, want ~0.005", rate)
+	}
+	// TTL variation exists but is bounded (only the jittered classes).
+	if len(ttlVaried) == 0 {
+		t.Fatal("no TTL variation at all")
+	}
+	varFrac := float64(len(ttlVaried)) / float64(len(base))
+	if varFrac > 0.25 {
+		t.Fatalf("%.3f of seen resolvers varied TTL, want <= ~0.12-ish", varFrac)
+	}
+}
+
+func TestSampleSkewsTowardHeavyResolvers(t *testing.T) {
+	p := pop(t)
+	counts := make([]int, len(p.Resolvers))
+	const trials = 100_000
+	for i := 0; i < trials; i++ {
+		counts[p.SampleResolver()]++
+	}
+	topK := int(0.03 * float64(len(counts)))
+	top := 0
+	for i := 0; i < topK; i++ {
+		top += counts[i]
+	}
+	share := float64(top) / trials
+	if share < 0.75 || share > 0.85 {
+		t.Fatalf("sampled top-3%% share = %.3f, want ~0.80", share)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{NumResolvers: 1000, NumASNs: 50, NumZones: 100, TotalQPS: 100}
+	a := NewPopulation(cfg, rand.New(rand.NewSource(7)))
+	b := NewPopulation(cfg, rand.New(rand.NewSource(7)))
+	for i := range a.Resolvers {
+		if a.Resolvers[i] != b.Resolvers[i] {
+			t.Fatal("population not deterministic")
+		}
+	}
+	va, vb := a.WeeklyVolumes(3), b.WeeklyVolumes(3)
+	for i := range va {
+		if va[i] != vb[i] {
+			t.Fatal("weekly volumes not deterministic")
+		}
+	}
+}
+
+func TestPropertyHeadTailWeights(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := 200 + int(nRaw%2000)
+		w := HeadTailWeights(n, 0.01, 0.88, 0.055)
+		return weightsValid(w, n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyHeadTailWeightsSmooth(t *testing.T) {
+	f := func(nRaw uint16) bool {
+		n := 500 + int(nRaw%5000)
+		w := HeadTailWeightsSmooth(n, 0.03, 0.80, 0.01)
+		if !weightsValid(w, n) {
+			return false
+		}
+		// Continuity: no cliff at the head/tail boundary.
+		h := int(math.Ceil(0.03 * float64(n)))
+		if h < len(w)-1 {
+			ratio := w[h] / w[h-1]
+			if ratio < 0.5 || ratio > 1.000001 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// weightsValid: normalized, nonincreasing, positive.
+func weightsValid(w []float64, n int) bool {
+	if len(w) != n {
+		return false
+	}
+	sum := 0.0
+	for i, x := range w {
+		if x <= 0 || (i > 0 && x > w[i-1]+1e-12) {
+			return false
+		}
+		sum += x
+	}
+	return math.Abs(sum-1) < 1e-6
+}
+
+func TestPropertySampleQueryAlwaysValid(t *testing.T) {
+	p := pop(t)
+	f := func(k uint16) bool {
+		ev := p.SampleQuery()
+		return ev.ResolverIdx >= 0 && ev.ResolverIdx < len(p.Resolvers) &&
+			ev.ZoneIdx >= 0 && ev.ZoneIdx < len(p.Zones) &&
+			ev.IPTTL > 0 && ev.IPTTL <= 70 && ev.Hostname != ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,34 @@
+package zone
+
+import (
+	"strings"
+	"testing"
+
+	"akamaidns/internal/dnswire"
+)
+
+// FuzzParseMaster holds the parser's crash-freedom and the invariant that
+// anything parsed serves lookups without panicking.
+func FuzzParseMaster(f *testing.F) {
+	f.Add(exampleZone)
+	f.Add("$TTL 60\nwww IN A 192.0.2.1\n")
+	f.Add("@ IN SOA ns1 host ( 1 2 3 4 5 )\n")
+	f.Add("a IN TXT \"x\" ; comment\n(\n)\n")
+	f.Add("$ORIGIN other.test.\nb 1w IN CNAME c\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		z, err := ParseMaster(strings.NewReader(text), dnswire.MustName("fuzz.test"))
+		if err != nil {
+			return
+		}
+		// Whatever parsed must answer lookups for a spread of names.
+		for _, q := range []string{"fuzz.test", "www.fuzz.test", "a.b.c.fuzz.test"} {
+			for _, typ := range []dnswire.Type{dnswire.TypeA, dnswire.TypeANY, dnswire.TypeTXT} {
+				z.Lookup(dnswire.MustName(q), typ)
+			}
+		}
+		// And snapshot/transfer machinery must hold.
+		_ = z.AllRecords()
+		_ = z.Names()
+		_ = z.Cuts()
+	})
+}

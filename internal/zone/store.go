@@ -1,0 +1,123 @@
+package zone
+
+import (
+	"sort"
+	"sync"
+
+	"akamaidns/internal/dnswire"
+)
+
+// Store holds the set of zones a nameserver is authoritative for and routes
+// each query name to its longest-match zone. It is safe for concurrent use.
+type Store struct {
+	mu    sync.RWMutex
+	zones map[dnswire.Name]*Zone
+}
+
+// NewStore returns an empty zone store.
+func NewStore() *Store {
+	return &Store{zones: make(map[dnswire.Name]*Zone)}
+}
+
+// Put installs (or replaces) a zone.
+func (s *Store) Put(z *Zone) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.zones[z.Origin()] = z
+}
+
+// Delete removes the zone with the given origin, reporting whether it
+// existed.
+func (s *Store) Delete(origin dnswire.Name) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.zones[origin]; !ok {
+		return false
+	}
+	delete(s.zones, origin)
+	return true
+}
+
+// Get returns the zone with exactly the given origin, or nil.
+func (s *Store) Get(origin dnswire.Name) *Zone {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.zones[origin]
+}
+
+// Find returns the zone with the longest origin that is an ancestor of (or
+// equal to) name, or nil when the server is not authoritative for name.
+func (s *Store) Find(name dnswire.Name) *Zone {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var best *Zone
+	bestLabels := -1
+	for origin, z := range s.zones {
+		if name.IsSubdomainOf(origin) && origin.NumLabels() > bestLabels {
+			best, bestLabels = z, origin.NumLabels()
+		}
+	}
+	return best
+}
+
+// Origins lists the zone origins in canonical order.
+func (s *Store) Origins() []dnswire.Name {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]dnswire.Name, 0, len(s.zones))
+	for o := range s.zones {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Len reports the number of zones.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.zones)
+}
+
+// Transfer produces an AXFR-style record stream for the zone at origin:
+// SOA, all other records, SOA again (RFC 5936 framing). Returns nil when
+// the zone does not exist or has no SOA.
+func (s *Store) Transfer(origin dnswire.Name) []dnswire.RR {
+	z := s.Get(origin)
+	if z == nil {
+		return nil
+	}
+	soa := z.SOA()
+	if soa == nil {
+		return nil
+	}
+	recs := z.AllRecords()
+	return append(recs, soa)
+}
+
+// ApplyTransfer installs a zone from an AXFR-style stream, validating the
+// SOA framing. It returns the installed zone.
+func (s *Store) ApplyTransfer(origin dnswire.Name, recs []dnswire.RR) (*Zone, error) {
+	if len(recs) < 2 {
+		return nil, errBadTransfer
+	}
+	first, okF := recs[0].(*dnswire.SOA)
+	last, okL := recs[len(recs)-1].(*dnswire.SOA)
+	if !okF || !okL || first.Serial != last.Serial || first.Name != origin {
+		return nil, errBadTransfer
+	}
+	z := New(origin)
+	for _, rr := range recs[:len(recs)-1] {
+		if err := z.Add(rr); err != nil {
+			return nil, err
+		}
+	}
+	s.Put(z)
+	return z, nil
+}
+
+var errBadTransfer = errSentinel("zone: malformed transfer stream")
+
+type errSentinel string
+
+func (e errSentinel) Error() string { return string(e) }

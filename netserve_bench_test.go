@@ -1,0 +1,31 @@
+package akamaidns
+
+import (
+	"testing"
+	"time"
+
+	"akamaidns/internal/dnswire"
+	"akamaidns/internal/nameserver"
+	"akamaidns/internal/netserve"
+	"akamaidns/internal/zone"
+)
+
+// benchNetServe drives the real UDP server over loopback.
+func benchNetServe(b *testing.B) {
+	store := zone.NewStore()
+	store.Put(zone.MustParseMaster(benchZone, dnswire.MustName("bench.test")))
+	srv := netserve.New(netserve.DefaultConfig(), nameserver.NewEngine(store), nil)
+	if err := srv.Start(); err != nil {
+		b.Skipf("no loopback sockets: %v", err)
+	}
+	defer srv.Close()
+	addr := srv.UDPAddrActual()
+	q := dnswire.NewQuery(1, dnswire.MustName("www.bench.test"), dnswire.TypeA)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.ID = uint16(i)
+		if _, err := netserve.Exchange(addr, q, false, 2*time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
