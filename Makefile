@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench experiments fuzz examples clean
+.PHONY: all build test race vet bench experiments fuzz examples clean
 
 all: build test
 
@@ -12,7 +12,10 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/...
+	go test -race ./...
+
+vet:
+	go vet ./...
 
 bench:
 	go test -bench=. -benchmem -benchtime=1x .

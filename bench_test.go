@@ -23,6 +23,7 @@ import (
 	"akamaidns/internal/filters"
 	"akamaidns/internal/nameserver"
 	"akamaidns/internal/netsim"
+	"akamaidns/internal/obs"
 	"akamaidns/internal/pop"
 	"akamaidns/internal/queue"
 	"akamaidns/internal/simtime"
@@ -252,6 +253,36 @@ func BenchmarkPipelineScoreClean(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		q.Now = simtime.Time(i) * simtime.Millisecond
 		pipe.Score(q)
+	}
+}
+
+// BenchmarkObsCounterInc proves the observability hot path: one registry
+// counter increment must stay well under 100ns so every serving-path
+// metric is effectively free.
+func BenchmarkObsCounterInc(b *testing.B) {
+	reg := obs.NewRegistry()
+	c := reg.Counter(obs.MetricQueriesTotal, "bench", "transport", "udp")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+	if c.Load() != uint64(b.N) {
+		b.Fatal("lost increments")
+	}
+}
+
+// BenchmarkObsHistogramObserve proves latency-histogram observation stays
+// under ~100ns: a short linear bucket scan plus two atomic adds.
+func BenchmarkObsHistogramObserve(b *testing.B) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram(obs.MetricQueryDuration, "bench", nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Vary the value so the bucket scan isn't branch-predicted flat.
+		h.Observe(float64(i%1000) * 50e-6)
+	}
+	if h.Count() != uint64(b.N) {
+		b.Fatal("lost observations")
 	}
 }
 

@@ -9,7 +9,8 @@
 //
 // Zones use RFC 1035 master-file syntax. AXFR is served over TCP unless
 // -no-axfr is set. -filters enables the §4.3.3 scoring pipeline with the
-// NXDOMAIN filter armed.
+// NXDOMAIN filter armed. -metrics-addr serves Prometheus-text /metrics and
+// /healthz (Figure 5's on-machine monitoring view).
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 	"akamaidns/internal/filters"
 	"akamaidns/internal/nameserver"
 	"akamaidns/internal/netserve"
+	"akamaidns/internal/obs"
 	"akamaidns/internal/zone"
 )
 
@@ -43,6 +45,7 @@ func main() {
 	withFilters := flag.Bool("filters", false, "enable the query scoring pipeline")
 	cookies := flag.Bool("cookies", false, "enable DNS Cookies (RFC 7873)")
 	requireCookies := flag.Bool("require-cookies", false, "refuse UDP queries without a valid server cookie")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus-text /metrics and /healthz on this address ('' disables)")
 	flag.Parse()
 
 	if len(zones) == 0 && len(secondaries) == 0 {
@@ -118,6 +121,16 @@ func main() {
 	}
 	if a := srv.TCPAddrActual(); a != "" {
 		fmt.Printf("authdns: tcp %s\n", a)
+	}
+	if *metricsAddr != "" {
+		ms, err := obs.Serve(*metricsAddr, srv.Reg, func() bool { return true })
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "authdns:", err)
+			srv.Close()
+			os.Exit(1)
+		}
+		defer ms.Close()
+		fmt.Printf("authdns: metrics http://%s/metrics\n", ms.Addr())
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -8,39 +8,41 @@ import (
 )
 
 // StartTelemetry launches the Data Collection/Aggregation loop of Figure 5:
-// every interval, each machine's counters and per-zone attribution are
-// sampled into the collector, which compiles fleet health, per-enterprise
-// traffic reports, and NOCC alerts. Returns the collector and its ticker.
+// every interval, each machine's metric registry is snapshotted into the
+// collector (one shared vocabulary from the simulated and socket paths
+// alike), which compiles fleet health, per-enterprise traffic reports, and
+// NOCC alerts. Returns the collector and its ticker.
 func (p *Platform) StartTelemetry(interval time.Duration, cfg telemetry.Thresholds) (*telemetry.Collector, *simtime.Ticker) {
 	col := telemetry.NewCollector(cfg)
 	// Per-zone attribution is reported as deltas per window.
 	lastZone := make(map[string]map[string]uint64)
 	tick := p.Sched.Every(interval, func(now simtime.Time) {
 		for _, m := range p.Machines {
-			snap := m.Server.Snapshot()
-			col.Observe(telemetry.Sample{
-				Machine:   m.ID,
-				PoP:       m.PoP.Name,
-				At:        now,
-				Received:  snap.Received,
-				Answered:  snap.Answered,
-				NXDomain:  snap.NXDomain,
-				Crashes:   snap.Crashes,
-				Suspended: m.Server.Suspended(),
-			})
+			col.ObserveSnapshot(m.ID, m.PoP.Name, now, m.Server.Suspended(), m.Server.Obs().Snapshot())
 			prev := lastZone[m.ID]
 			if prev == nil {
 				prev = make(map[string]uint64)
 				lastZone[m.ID] = prev
 			}
 			for z, n := range m.Server.ZoneCounts() {
-				d := n - prev[z.String()]
+				d := zoneDelta(prev[z.String()], n)
+				prev[z.String()] = n
 				if d > 0 {
 					col.ObserveZone(telemetry.ZoneSample{Zone: z, At: now, Queries: d})
-					prev[z.String()] = n
 				}
 			}
 		}
 	})
 	return col, tick
+}
+
+// zoneDelta is the per-window attribution delta. A counter that moved
+// backwards (reset after a crash/restart) is clamped to zero rather than
+// underflowing; the caller must still advance its cursor to the observed
+// value so the window after a reset reports only fresh traffic.
+func zoneDelta(prev, cur uint64) uint64 {
+	if cur <= prev {
+		return 0
+	}
+	return cur - prev
 }

@@ -94,3 +94,34 @@ func TestTelemetryNOCCAlertOnQoD(t *testing.T) {
 		t.Fatalf("no crash-spike alert; alerts = %v", col.Alerts())
 	}
 }
+
+// TestZoneDeltaClampOnReset is the regression test for the collection
+// cursor: a counter that resets (crash/restart) must report a zero delta
+// for that window — not underflow — and the cursor must still advance so
+// the following window reports only the traffic since the reset.
+func TestZoneDeltaClampOnReset(t *testing.T) {
+	var cursor uint64
+	var reported uint64
+	observe := func(cur uint64) {
+		d := zoneDelta(cursor, cur)
+		cursor = cur
+		reported += d
+	}
+	observe(100) // first window: 100 queries
+	observe(130) // +30
+	observe(5)   // reset: counter restarted at 5 → clamp to 0, cursor → 5
+	observe(12)  // +7 since restart
+	if reported != 137 {
+		t.Fatalf("reported = %d, want 137 (100+30+0+7)", reported)
+	}
+	if cursor != 12 {
+		t.Fatalf("cursor = %d: did not advance past the reset", cursor)
+	}
+	// The pre-fix behavior advanced the cursor only on positive deltas, so
+	// after a reset it stayed at the high-water mark and suppressed every
+	// later window until traffic re-passed it; the clamp must not do that.
+	observe(200)
+	if reported != 137+188 {
+		t.Fatalf("post-reset window reported %d total, want %d", reported, 137+188)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"akamaidns/internal/dnswire"
+	"akamaidns/internal/obs"
 	"akamaidns/internal/simtime"
 )
 
@@ -57,6 +58,10 @@ const (
 type Pipeline struct {
 	mu      sync.RWMutex
 	filters []Filter
+	// hits, when instrumented, holds one per-filter hit counter parallel
+	// to filters (incremented whenever the filter contributes a penalty).
+	hits []*obs.Counter
+	reg  *obs.Registry
 }
 
 // NewPipeline builds a pipeline over the given filters.
@@ -64,11 +69,32 @@ func NewPipeline(fs ...Filter) *Pipeline {
 	return &Pipeline{filters: fs}
 }
 
+// Instrument registers per-filter hit counters on reg
+// (akamaidns_filter_hits_total{filter=...}). Counters are resolved once
+// here, so scoring pays one atomic add per contributing filter.
+func (p *Pipeline) Instrument(reg *obs.Registry) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.reg = reg
+	p.hits = make([]*obs.Counter, len(p.filters))
+	for i, f := range p.filters {
+		p.hits[i] = filterHitCounter(reg, f)
+	}
+}
+
+func filterHitCounter(reg *obs.Registry, f Filter) *obs.Counter {
+	return reg.Counter(obs.MetricFilterHitsTotal,
+		"Queries penalized by each scoring filter.", "filter", f.Name())
+}
+
 // Append adds a filter at the end of the pipeline.
 func (p *Pipeline) Append(f Filter) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.filters = append(p.filters, f)
+	if p.reg != nil {
+		p.hits = append(p.hits, filterHitCounter(p.reg, f))
+	}
 }
 
 // Score runs every filter and returns the total penalty plus the per-filter
@@ -76,10 +102,11 @@ func (p *Pipeline) Append(f Filter) {
 func (p *Pipeline) Score(q *Query) (float64, map[string]float64) {
 	p.mu.RLock()
 	fs := p.filters
+	hits := p.hits
 	p.mu.RUnlock()
 	total := 0.0
 	var detail map[string]float64
-	for _, f := range fs {
+	for i, f := range fs {
 		s := f.Score(q)
 		if s > 0 {
 			total += s
@@ -87,6 +114,9 @@ func (p *Pipeline) Score(q *Query) (float64, map[string]float64) {
 				detail = make(map[string]float64, 2)
 			}
 			detail[f.Name()] += s
+			if hits != nil {
+				hits[i].Inc()
+			}
 		}
 	}
 	return total, detail

@@ -7,6 +7,7 @@ import (
 
 	"akamaidns/internal/dnswire"
 	"akamaidns/internal/filters"
+	"akamaidns/internal/obs"
 	"akamaidns/internal/pubsub"
 	"akamaidns/internal/queue"
 	"akamaidns/internal/simtime"
@@ -65,7 +66,8 @@ type Request struct {
 	Respond func(now simtime.Time, resp *dnswire.Message)
 }
 
-// Metrics counts server activity.
+// Metrics is a point-in-time copy of server activity counters (the
+// bespoke-struct view; the live counters are obs series on Obs()).
 type Metrics struct {
 	Received      uint64
 	IODropped     uint64
@@ -78,6 +80,37 @@ type Metrics struct {
 	Crashes       uint64
 	QoDBlocked    uint64
 	Suspensions   uint64
+}
+
+// serverMetrics holds the live registry-backed counters behind Metrics.
+type serverMetrics struct {
+	received      *obs.Counter
+	ioDropped     *obs.Counter
+	discarded     *obs.Counter
+	tailDropped   *obs.Counter
+	answered      *obs.Counter
+	answeredLegit *obs.Counter
+	receivedLegit *obs.Counter
+	nxdomain      *obs.Counter
+	crashes       *obs.Counter
+	qodBlocked    *obs.Counter
+	suspensions   *obs.Counter
+}
+
+func newServerMetrics(reg *obs.Registry) serverMetrics {
+	return serverMetrics{
+		received:      reg.Counter(obs.MetricReceivedTotal, "Queries delivered to the machine."),
+		ioDropped:     reg.Counter(obs.MetricIODroppedTotal, "Queries dropped below the application by the socket leaky bucket."),
+		discarded:     reg.Counter(obs.MetricDiscardedTotal, "Queries discarded by the scoring pipeline at S >= Smax."),
+		tailDropped:   reg.Counter(obs.MetricTailDroppedTotal, "Queries dropped because their penalty queue was full."),
+		answered:      reg.Counter(obs.MetricAnsweredTotal, "Queries answered."),
+		answeredLegit: reg.Counter(obs.MetricAnsweredLegit, "Ground-truth legitimate queries answered (experiments only)."),
+		receivedLegit: reg.Counter(obs.MetricReceivedLegit, "Ground-truth legitimate queries received (experiments only)."),
+		nxdomain:      reg.Counter(obs.MetricNXDomainTotal, "NXDOMAIN answers."),
+		crashes:       reg.Counter(obs.MetricCrashesTotal, "Process crashes (query-of-death kills)."),
+		qodBlocked:    reg.Counter(obs.MetricQoDBlockedTotal, "Queries blocked by an active QoD firewall rule."),
+		suspensions:   reg.Counter(obs.MetricSuspensionsTotal, "Self-suspension transitions."),
+	}
 }
 
 // Server is one simulated nameserver machine: IO admission, scoring,
@@ -120,7 +153,10 @@ type Server struct {
 	// hooks this to withdraw/re-advertise.
 	OnSuspendChange func(now simtime.Time, suspended bool)
 
-	Metrics Metrics
+	// reg is the machine's metric registry (Figure 5's on-machine view);
+	// met holds the hot-path counter handles registered on it.
+	reg *obs.Registry
+	met serverMetrics
 }
 
 // NewServer builds a simulated machine over the engine.
@@ -131,13 +167,21 @@ func NewServer(sched *simtime.Scheduler, cfg Config, eng *Engine, pipe *filters.
 		panic(err)
 	}
 	q = qq
+	reg := obs.NewRegistry()
+	qq.Instrument(reg)
 	return &Server{
 		Cfg: cfg, Engine: eng, Pipeline: pipe, sched: sched, queues: q,
 		qodRules:   make(map[string]simtime.Time),
 		lastInput:  make(map[pubsub.Topic]simtime.Time),
 		zoneCounts: make(map[dnswire.Name]uint64),
+		reg:        reg,
+		met:        newServerMetrics(reg),
 	}
 }
+
+// Obs exposes the machine's metric registry — the snapshot source for the
+// Figure-5 Data Collection/Aggregation loop and any exposition endpoint.
+func (s *Server) Obs() *obs.Registry { return s.reg }
 
 // UseFIFO swaps the penalty ladder for a single FIFO queue (the Figure 10
 // "w/o filter" ablation). Must be called before traffic starts.
@@ -168,7 +212,7 @@ func (s *Server) SetSuspended(now simtime.Time, suspended bool) {
 	}
 	s.suspended = suspended
 	if suspended {
-		s.Metrics.Suspensions++
+		s.met.suspensions.Inc()
 	}
 	hook := s.OnSuspendChange
 	s.mu.Unlock()
@@ -265,9 +309,9 @@ func (s *Server) Receive(now simtime.Time, req *Request) {
 		s.mu.Unlock()
 		return // withdrawn: router no longer delivers, packet goes elsewhere
 	}
-	s.Metrics.Received++
+	s.met.received.Inc()
 	if req.Legit {
-		s.Metrics.ReceivedLegit++
+		s.met.receivedLegit.Inc()
 	}
 	// Socket leaky bucket.
 	if s.Cfg.IOQPS > 0 {
@@ -282,7 +326,7 @@ func (s *Server) Receive(now simtime.Time, req *Request) {
 		s.ioLevel++
 		if s.ioLevel > s.Cfg.IOQPS*s.Cfg.IOBurst {
 			s.ioLevel = s.Cfg.IOQPS * s.Cfg.IOBurst
-			s.Metrics.IODropped++
+			s.met.ioDropped.Inc()
 			s.mu.Unlock()
 			return
 		}
@@ -293,7 +337,7 @@ func (s *Server) Receive(now simtime.Time, req *Request) {
 		qname := req.Msg.Questions[0].Name
 		if s.Cfg.QoDFirewall && s.qodBlocked(qname, now) {
 			s.mu.Lock()
-			s.Metrics.QoDBlocked++
+			s.met.qodBlocked.Inc()
 			s.mu.Unlock()
 			return
 		}
@@ -317,12 +361,12 @@ func (s *Server) Receive(now simtime.Time, req *Request) {
 	switch s.queues.Enqueue(score, req) {
 	case queue.Discarded:
 		s.mu.Lock()
-		s.Metrics.Discarded++
+		s.met.discarded.Inc()
 		s.mu.Unlock()
 		return
 	case queue.TailDropped:
 		s.mu.Lock()
-		s.Metrics.TailDropped++
+		s.met.tailDropped.Inc()
 		s.mu.Unlock()
 		return
 	}
@@ -360,13 +404,13 @@ func (s *Server) processOne(now simtime.Time) {
 		s.crash(now, req)
 	} else {
 		s.mu.Lock()
-		s.Metrics.Answered++
+		s.met.answered.Inc()
 		if req.Legit {
-			s.Metrics.AnsweredLegit++
+			s.met.answeredLegit.Inc()
 		}
 		nx := resp.RCode == dnswire.RCodeNXDomain
 		if nx {
-			s.Metrics.NXDomain++
+			s.met.nxdomain.Inc()
 		}
 		if !matchedZone.IsZero() {
 			s.zoneCounts[matchedZone]++
@@ -397,7 +441,7 @@ func (s *Server) crash(now simtime.Time, req *Request) {
 		sig = qodSignature(req.Msg.Questions[0].Name)
 	}
 	s.mu.Lock()
-	s.Metrics.Crashes++
+	s.met.crashes.Inc()
 	if s.Cfg.QoDFirewall && sig != "" {
 		s.qodRules[sig] = now.Add(s.Cfg.TQoD)
 	}
@@ -420,9 +464,20 @@ func (s *Server) ZoneCounts() map[dnswire.Name]uint64 {
 	return out
 }
 
-// Snapshot returns a copy of the metrics.
+// Snapshot returns a copy of the metrics (reads the live registry-backed
+// counters).
 func (s *Server) Snapshot() Metrics {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.Metrics
+	return Metrics{
+		Received:      s.met.received.Load(),
+		IODropped:     s.met.ioDropped.Load(),
+		Discarded:     s.met.discarded.Load(),
+		TailDropped:   s.met.tailDropped.Load(),
+		Answered:      s.met.answered.Load(),
+		AnsweredLegit: s.met.answeredLegit.Load(),
+		ReceivedLegit: s.met.receivedLegit.Load(),
+		NXDomain:      s.met.nxdomain.Load(),
+		Crashes:       s.met.crashes.Load(),
+		QoDBlocked:    s.met.qodBlocked.Load(),
+		Suspensions:   s.met.suspensions.Load(),
+	}
 }

@@ -18,6 +18,7 @@ import (
 	"akamaidns/internal/dnswire"
 	"akamaidns/internal/filters"
 	"akamaidns/internal/nameserver"
+	"akamaidns/internal/obs"
 	"akamaidns/internal/queue"
 	"akamaidns/internal/simtime"
 	"akamaidns/internal/zone"
@@ -60,16 +61,19 @@ func DefaultConfig() Config {
 	}
 }
 
-// Metrics counts socket-server activity.
+// Metrics exposes the socket server's registry-backed counters. Every
+// field is a live series on the server's registry — the same numbers a
+// /metrics scrape reports.
 type Metrics struct {
-	UDPQueries   atomic.Uint64
-	TCPQueries   atomic.Uint64
-	Discarded    atomic.Uint64
-	FormErr      atomic.Uint64
-	Truncated    atomic.Uint64
-	Transfers    atomic.Uint64
-	WriteErrors  atomic.Uint64
-	DecodeErrors atomic.Uint64
+	UDPQueries   *obs.Counter
+	TCPQueries   *obs.Counter
+	Discarded    *obs.Counter
+	TailDropped  *obs.Counter
+	FormErr      *obs.Counter
+	Truncated    *obs.Counter
+	Transfers    *obs.Counter
+	WriteErrors  *obs.Counter
+	DecodeErrors *obs.Counter
 }
 
 // Server is the socket front-end.
@@ -78,12 +82,22 @@ type Server struct {
 	Engine   *nameserver.Engine
 	Pipeline *filters.Pipeline
 	Metrics  Metrics
+	// Reg is the server's metric registry; serve it with obs.Serve for a
+	// Prometheus-style /metrics endpoint.
+	Reg *obs.Registry
+	// Tracer stamps each query's lifecycle stages into Reg.
+	Tracer *obs.Tracer
 	// OnNotify, when set, receives RFC 1996 NOTIFY messages (secondaries
 	// wire this to Secondary.Notify).
 	OnNotify func(origin dnswire.Name)
 	// History, when set, enables incremental zone transfer (IXFR): record
 	// each zone version with History.Record after serial bumps.
 	History *zone.History
+
+	// admission is the §4.3.3 penalty ladder applied to scored queries
+	// (built when a pipeline is configured): discard at S >= Smax, tail
+	// drop on overload, and per-queue depth gauges on Reg.
+	admission *queue.Q
 
 	started time.Time
 	udp     *net.UDPConn
@@ -92,9 +106,47 @@ type Server struct {
 	closed  atomic.Bool
 }
 
-// New builds a server over the engine. pipeline may be nil.
+// New builds a server over the engine with a fresh metric registry.
+// pipeline may be nil.
 func New(cfg Config, eng *nameserver.Engine, pipeline *filters.Pipeline) *Server {
-	return &Server{Cfg: cfg, Engine: eng, Pipeline: pipeline, started: time.Now()}
+	return NewWithRegistry(cfg, eng, pipeline, obs.NewRegistry())
+}
+
+// NewWithRegistry builds a server reporting into an existing registry (for
+// processes that aggregate several subsystems onto one /metrics endpoint).
+func NewWithRegistry(cfg Config, eng *nameserver.Engine, pipeline *filters.Pipeline, reg *obs.Registry) *Server {
+	s := &Server{Cfg: cfg, Engine: eng, Pipeline: pipeline, Reg: reg, started: time.Now()}
+	helpQ := "Queries received over real sockets by transport."
+	s.Metrics = Metrics{
+		UDPQueries:   reg.Counter(obs.MetricQueriesTotal, helpQ, "transport", "udp"),
+		TCPQueries:   reg.Counter(obs.MetricQueriesTotal, helpQ, "transport", "tcp"),
+		Discarded:    reg.Counter(obs.MetricDiscardedTotal, "Queries discarded by the scoring pipeline at S >= Smax."),
+		TailDropped:  reg.Counter(obs.MetricTailDroppedTotal, "Queries dropped because their penalty queue was full."),
+		FormErr:      reg.Counter(obs.MetricFormErrTotal, "FORMERR responses."),
+		Truncated:    reg.Counter(obs.MetricTruncatedTotal, "Truncated UDP responses."),
+		Transfers:    reg.Counter(obs.MetricTransfersTotal, "Zone transfers served (AXFR and IXFR)."),
+		WriteErrors:  reg.Counter(obs.MetricWriteErrorsTotal, "Response encode/write failures."),
+		DecodeErrors: reg.Counter(obs.MetricDecodeErrorsTotal, "Undecodable queries."),
+	}
+	s.Tracer = obs.NewTracer(reg, nil)
+	if pipeline != nil {
+		pipeline.Instrument(reg)
+		if cfg.Smax > 0 {
+			s.admission = queue.MustNew(admissionConfig(cfg.Smax))
+			s.admission.Instrument(reg)
+		}
+	}
+	return s
+}
+
+// admissionConfig scales the default three-rung penalty ladder to the
+// configured Smax (clean / suspicious / hostile-but-processable).
+func admissionConfig(smax float64) queue.Config {
+	return queue.Config{
+		MaxScores: []float64{0, 0.495 * smax, 0.995 * smax},
+		Smax:      smax,
+		Capacity:  queue.DefaultConfig().Capacity,
+	}
 }
 
 // now maps wall time onto the virtual timeline the filters expect.
@@ -181,9 +233,13 @@ func (s *Server) serveUDP() {
 }
 
 // handle decodes, scores, answers, and encodes one message. Returns nil
-// when the query is dropped (discard or undecodable with no ID).
+// when the query is dropped (discard or undecodable with no ID). The
+// tracer stamps each stage: receive (decode) → cookie → score → queue →
+// lookup → write (encode/truncate).
 func (s *Server) handle(wire []byte, srcIP string, tcp bool) []byte {
+	span := s.Tracer.Begin()
 	q, err := dnswire.Unpack(wire)
+	span.Mark(obs.StageReceive)
 	if err != nil {
 		s.Metrics.DecodeErrors.Add(1)
 		return formErrFor(wire)
@@ -232,6 +288,7 @@ func (s *Server) handle(wire []byte, srcIP string, tcp bool) []byte {
 			return out
 		}
 	}
+	span.Mark(obs.StageCookie)
 	if s.Pipeline != nil && len(q.Questions) == 1 && s.Cfg.Smax > 0 && !cookieValid {
 		fq := &filters.Query{
 			Resolver: srcIP,
@@ -243,12 +300,30 @@ func (s *Server) handle(wire []byte, srcIP string, tcp bool) []byte {
 		if z := s.Engine.Store.Find(fq.Name); z != nil {
 			fq.Zone = z.Origin()
 		}
-		if score, _ := s.Pipeline.Score(fq); score >= s.Cfg.Smax {
+		score, _ := s.Pipeline.Score(fq)
+		span.Mark(obs.StageScore)
+		if s.admission != nil {
+			// Queue admission (§4.3.3): serving is synchronous, so admitted
+			// queries pass straight through the ladder, but discard and tail
+			// drop decisions — and the depth gauges — are the production ones.
+			switch s.admission.Enqueue(score, nil) {
+			case queue.Discarded:
+				s.Metrics.Discarded.Add(1)
+				return nil
+			case queue.TailDropped:
+				s.Metrics.TailDropped.Add(1)
+				return nil
+			}
+			s.admission.Dequeue()
+		} else if score >= s.Cfg.Smax {
+			// Pipeline attached after construction: no ladder, plain discard.
 			s.Metrics.Discarded.Add(1)
 			return nil
 		}
+		span.Mark(obs.StageQueue)
 	}
 	resp, _, crashed := s.Engine.Answer(q, srcIP)
+	span.Mark(obs.StageLookup)
 	if !crashed && s.Cfg.Cookies && clientCookie != nil {
 		if ro := resp.OPT(); ro != nil {
 			ro.SetCookie(dnswire.Cookie{
@@ -273,6 +348,8 @@ func (s *Server) handle(wire []byte, srcIP string, tcp bool) []byte {
 		limit = 65535
 	}
 	fitted, wireOut, err := resp.TruncateTo(limit)
+	span.Mark(obs.StageWrite)
+	span.End()
 	if err != nil {
 		s.Metrics.WriteErrors.Add(1)
 		return nil

@@ -8,7 +8,10 @@ package queue
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
+
+	"akamaidns/internal/obs"
 )
 
 // Config describes the queue ladder.
@@ -166,6 +169,28 @@ func (q *Q) QueueLen(i int) int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return len(q.queues[i])
+}
+
+// Instrument registers this ladder's per-queue depth gauges and activity
+// counters on reg. Collection reads happen at scrape time only, so the
+// enqueue/dequeue hot path is untouched.
+func (q *Q) Instrument(reg *obs.Registry) {
+	for i := range q.queues {
+		i := i
+		reg.GaugeFunc(obs.MetricQueueDepth,
+			"Current depth of each penalty queue (0 = lowest penalty).",
+			func() float64 { return float64(q.QueueLen(i)) },
+			"queue", strconv.Itoa(i))
+	}
+	reg.CounterFunc(obs.MetricQueueEnqueuedTotal,
+		"Queries admitted into the penalty ladder.",
+		func() float64 { return float64(q.Stats().Enqueued) })
+	reg.CounterFunc(obs.MetricQueueDiscardedTotal,
+		"Queries discarded outright at S >= Smax.",
+		func() float64 { return float64(q.Stats().Discarded) })
+	reg.CounterFunc(obs.MetricQueueTailDroppedTotal,
+		"Queries dropped because their target queue was full.",
+		func() float64 { return float64(q.Stats().TailDropped) })
 }
 
 // Stats returns a snapshot of counters.

@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"akamaidns/internal/dnswire"
+	"akamaidns/internal/obs"
 	"akamaidns/internal/simtime"
 )
 
@@ -114,9 +115,19 @@ type Collector struct {
 	// zoneTotals accumulates per-zone queries.
 	zoneTotals map[dnswire.Name]uint64
 	alerts     []Alert
+	// lastFired deduplicates alerts per (kind, subject): operators act on
+	// the first page, and tracking per-stream state keeps interleaved
+	// alert streams (alternating machines) from re-firing every window.
+	lastFired map[alertKey]simtime.Time
 	// machines tracks last-known suspension state.
 	suspended map[string]bool
 	known     map[string]bool
+}
+
+// alertKey identifies one alert stream for deduplication.
+type alertKey struct {
+	kind    AlertKind
+	subject string
 }
 
 // NewCollector builds a collector.
@@ -125,6 +136,7 @@ func NewCollector(cfg Thresholds) *Collector {
 		Cfg:        cfg,
 		prev:       make(map[string]Sample),
 		zoneTotals: make(map[dnswire.Name]uint64),
+		lastFired:  make(map[alertKey]simtime.Time),
 		suspended:  make(map[string]bool),
 		known:      make(map[string]bool),
 	}
@@ -172,6 +184,25 @@ func (c *Collector) Observe(s Sample) {
 	}
 }
 
+// ObserveSnapshot ingests one machine's obs registry snapshot — the
+// Figure-5 collection path: every subsystem on the machine reports through
+// the shared metric vocabulary, and the collector extracts the health
+// counters by their canonical names rather than receiving a bespoke
+// struct. Suspension state is routing-plane state, so the caller supplies
+// it alongside.
+func (c *Collector) ObserveSnapshot(machine, pop string, at simtime.Time, suspended bool, snap obs.Snapshot) {
+	c.Observe(Sample{
+		Machine:   machine,
+		PoP:       pop,
+		At:        at,
+		Received:  snap.CounterValue(obs.MetricReceivedTotal),
+		Answered:  snap.CounterValue(obs.MetricAnsweredTotal),
+		NXDomain:  snap.CounterValue(obs.MetricNXDomainTotal),
+		Crashes:   snap.CounterValue(obs.MetricCrashesTotal),
+		Suspended: suspended,
+	})
+}
+
 // ObserveZone ingests per-zone traffic attribution.
 func (c *Collector) ObserveZone(z ZoneSample) {
 	c.mu.Lock()
@@ -180,14 +211,16 @@ func (c *Collector) ObserveZone(z ZoneSample) {
 }
 
 func (c *Collector) alert(at simtime.Time, kind AlertKind, subject, detail string) {
-	// Deduplicate: suppress a repeat of the same (kind, subject) if it is
-	// the most recent alert (operators act on the first).
-	if n := len(c.alerts); n > 0 {
-		last := c.alerts[n-1]
-		if last.Kind == kind && last.Subject == subject {
-			return
-		}
+	// Deduplicate per (kind, subject): suppress any repeat of a stream
+	// that already fired (operators act on the first page). Checking only
+	// the most recent alert would let two interleaved streams — e.g.
+	// alternating machines — re-fire each other every window.
+	k := alertKey{kind, subject}
+	if _, fired := c.lastFired[k]; fired {
+		c.lastFired[k] = at
+		return
 	}
+	c.lastFired[k] = at
 	c.alerts = append(c.alerts, Alert{At: at, Kind: kind, Subject: subject, Detail: detail})
 }
 

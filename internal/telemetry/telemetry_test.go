@@ -1,10 +1,13 @@
 package telemetry
 
 import (
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
 	"akamaidns/internal/dnswire"
+	"akamaidns/internal/obs"
 	"akamaidns/internal/simtime"
 )
 
@@ -74,6 +77,116 @@ func TestAlertDeduplication(t *testing.T) {
 	c.Observe(Sample{Machine: "m1", At: 2 * simtime.Minute, Crashes: 10})
 	if got := c.Alerts(); len(got) != 1 {
 		t.Fatalf("repeat alert not suppressed: %v", got)
+	}
+}
+
+// TestAlertDedupInterleavedStreams is the regression test for per-stream
+// deduplication: two machines alternately crash-spiking used to re-fire
+// each other's alert every window, because suppression only checked the
+// most recent alert.
+func TestAlertDedupInterleavedStreams(t *testing.T) {
+	c := NewCollector(DefaultThresholds())
+	c.Observe(Sample{Machine: "m1", At: 0})
+	c.Observe(Sample{Machine: "m2", At: 0})
+	// Four windows of alternating crash spikes on m1 and m2.
+	for w := uint64(1); w <= 4; w++ {
+		at := simtime.Time(w) * simtime.Minute
+		c.Observe(Sample{Machine: "m1", At: at, Crashes: 5 * w})
+		c.Observe(Sample{Machine: "m2", At: at, Crashes: 5 * w})
+	}
+	alerts := c.Alerts()
+	if len(alerts) != 2 {
+		t.Fatalf("interleaved streams re-fired: %d alerts: %v", len(alerts), alerts)
+	}
+	subjects := map[string]bool{}
+	for _, a := range alerts {
+		if a.Kind != AlertCrashSpike {
+			t.Fatalf("unexpected alert: %v", a)
+		}
+		subjects[a.Subject] = true
+	}
+	if !subjects["m1"] || !subjects["m2"] {
+		t.Fatalf("each stream should fire once: %v", alerts)
+	}
+	// Distinct kinds on the same subject still fire independently.
+	c.Observe(Sample{Machine: "m1", At: 5 * simtime.Minute, Crashes: 25, Received: 1000, Answered: 200})
+	if got := c.Alerts(); len(got) != 3 || got[2].Kind != AlertServeRateDrop {
+		t.Fatalf("distinct kind suppressed: %v", got)
+	}
+}
+
+// TestCollectorConcurrent exercises Observe/ObserveZone/Fleet/Alerts/
+// TrafficReports from many goroutines; run with -race.
+func TestCollectorConcurrent(t *testing.T) {
+	c := NewCollector(DefaultThresholds())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			machine := fmt.Sprintf("m%d", g)
+			zone := dnswire.MustName(fmt.Sprintf("z%d.test", g%3))
+			for i := 0; i < 300; i++ {
+				c.Observe(Sample{
+					Machine:  machine,
+					At:       simtime.Time(i) * simtime.Second,
+					Received: uint64(i * 10),
+					Answered: uint64(i * 9),
+					NXDomain: uint64(i),
+					Crashes:  uint64(i / 100),
+				})
+				c.ObserveZone(ZoneSample{Zone: zone, Queries: 1})
+				switch i % 3 {
+				case 0:
+					c.Fleet()
+				case 1:
+					c.Alerts()
+				case 2:
+					c.TrafficReports()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r := c.Fleet(); r.Machines != 8 {
+		t.Fatalf("fleet machines = %d", r.Machines)
+	}
+	var zoneTotal uint64
+	for _, r := range c.TrafficReports() {
+		zoneTotal += r.Queries
+	}
+	if zoneTotal != 8*300 {
+		t.Fatalf("zone total = %d", zoneTotal)
+	}
+}
+
+// TestObserveSnapshot checks the Figure-5 collection path end to end: the
+// collector extracts health counters from an obs registry snapshot by
+// their canonical names.
+func TestObserveSnapshot(t *testing.T) {
+	c := NewCollector(DefaultThresholds())
+	reg := obs.NewRegistry()
+	recv := reg.Counter(obs.MetricReceivedTotal, "")
+	ans := reg.Counter(obs.MetricAnsweredTotal, "")
+	nx := reg.Counter(obs.MetricNXDomainTotal, "")
+	reg.Counter(obs.MetricCrashesTotal, "")
+
+	recv.Add(100)
+	ans.Add(100)
+	c.ObserveSnapshot("m1", "pop1", 0, false, reg.Snapshot())
+	// Second window: a random-subdomain attack signature.
+	recv.Add(1000)
+	ans.Add(1000)
+	nx.Add(300)
+	c.ObserveSnapshot("m1", "pop1", simtime.Minute, false, reg.Snapshot())
+
+	alerts := c.Alerts()
+	if len(alerts) != 1 || alerts[0].Kind != AlertNXDomainSurge {
+		t.Fatalf("alerts = %v", alerts)
+	}
+	r := c.Fleet()
+	if r.Machines != 1 || r.Received != 1100 || r.Answered != 1100 {
+		t.Fatalf("fleet = %+v", r)
 	}
 }
 
