@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race vet bench experiments fuzz examples clean
+.PHONY: all build test race vet bench bench-smoke bench-json experiments fuzz examples clean
 
 all: build test
 
@@ -10,15 +10,30 @@ build:
 
 test:
 	go test ./...
+	go test -run='^$$' -bench=BenchmarkNetServe -benchtime=1x .
 
+# The hot serving paths (parallel UDP workers, hot cache, pooled wire
+# buffers) get a dedicated high-iteration race pass on top of the full
+# -race sweep.
 race:
 	go test -race ./...
+	go test -race -run='TestConcurrentMixedLoad|TestConcurrentUDPClients|TestHotCache' -count=2 ./internal/netserve/
 
 vet:
 	go vet ./...
 
 bench:
 	go test -bench=. -benchmem -benchtime=1x .
+
+# One-iteration smoke run of the socket benchmarks (catches bit-rot in the
+# bench harness without the cost of a real measurement).
+bench-smoke:
+	go test -run='^$$' -bench=BenchmarkNetServe -benchtime=1x .
+
+# Measured UDP serving numbers, committed as BENCH_netserve.json.
+bench-json:
+	go test -run='^$$' -bench='BenchmarkNetServeUDP|BenchmarkHandleUDP' -benchmem -benchtime=2s . ./internal/netserve/ | go run ./cmd/benchjson > BENCH_netserve.json
+	@cat BENCH_netserve.json
 
 experiments:
 	go run ./cmd/experiments -fig all

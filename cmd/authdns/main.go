@@ -41,6 +41,8 @@ func main() {
 	flag.Var(&secondaries, "secondary", "origin=primary-tcp-addr to replicate via SOA refresh + AXFR (repeatable)")
 	udp := flag.String("udp", "127.0.0.1:5300", "UDP listen address ('' disables)")
 	tcp := flag.String("tcp", "127.0.0.1:5300", "TCP listen address ('' disables)")
+	udpWorkers := flag.Int("udp-workers", 0, "parallel UDP read loops (0 = GOMAXPROCS); SO_REUSEPORT sockets where available")
+	hotCache := flag.Int("hot-cache", 0, "packed-response hot cache entries (0 = default, negative disables)")
 	noAXFR := flag.Bool("no-axfr", false, "refuse zone transfers")
 	withFilters := flag.Bool("filters", false, "enable the query scoring pipeline")
 	cookies := flag.Bool("cookies", false, "enable DNS Cookies (RFC 7873)")
@@ -85,6 +87,8 @@ func main() {
 	cfg := netserve.DefaultConfig()
 	cfg.UDPAddr = *udp
 	cfg.TCPAddr = *tcp
+	cfg.UDPWorkers = *udpWorkers
+	cfg.HotCacheSize = *hotCache
 	cfg.AllowTransfer = !*noAXFR
 	cfg.Cookies = *cookies || *requireCookies
 	cfg.RequireCookies = *requireCookies

@@ -1,0 +1,114 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// document on stdout, so benchmark results can be committed and diffed
+// (`make bench-json` > BENCH_netserve.json).
+//
+//	go test -run='^$' -bench=BenchmarkNetServe -benchmem . | benchjson
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Procs       int     `json:"procs"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Doc is the emitted document. Baseline is carried over verbatim from the
+// previous version of the output file (see -keep-baseline), so historical
+// pre-optimization numbers survive regeneration.
+type Doc struct {
+	Baseline   json.RawMessage `json:"baseline,omitempty"`
+	Goos       string          `json:"goos,omitempty"`
+	Goarch     string          `json:"goarch,omitempty"`
+	CPU        string          `json:"cpu,omitempty"`
+	Benchmarks []Result        `json:"benchmarks"`
+}
+
+func main() {
+	keep := flag.String("keep-baseline", "BENCH_netserve.json",
+		"preserve the 'baseline' key from this existing JSON file ('' disables)")
+	flag.Parse()
+	var doc Doc
+	if *keep != "" {
+		if prev, err := os.ReadFile(*keep); err == nil {
+			var old Doc
+			if json.Unmarshal(prev, &old) == nil {
+				doc.Baseline = old.Baseline
+			}
+		}
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		// Expect: Name[-P] iterations ns ns/op [B B/op allocs allocs/op].
+		f := strings.Fields(line)
+		if len(f) < 4 {
+			continue
+		}
+		r := Result{Procs: 1}
+		r.Name = f[0]
+		if i := strings.LastIndexByte(r.Name, '-'); i > 0 {
+			if p, err := strconv.Atoi(r.Name[i+1:]); err == nil {
+				r.Procs = p
+				r.Name = r.Name[:i]
+			}
+		}
+		r.Name = strings.TrimPrefix(r.Name, "Benchmark")
+		var err error
+		if r.Iterations, err = strconv.ParseInt(f[1], 10, 64); err != nil {
+			continue
+		}
+		if r.NsPerOp, err = strconv.ParseFloat(f[2], 64); err != nil || f[3] != "ns/op" {
+			continue
+		}
+		for i := 4; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseInt(f[i], 10, 64)
+			if err != nil {
+				continue
+			}
+			switch f[i+1] {
+			case "B/op":
+				r.BytesPerOp = v
+			case "allocs/op":
+				r.AllocsPerOp = v
+			}
+		}
+		doc.Benchmarks = append(doc.Benchmarks, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

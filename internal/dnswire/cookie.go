@@ -3,6 +3,7 @@ package dnswire
 import (
 	"encoding/binary"
 	"fmt"
+	"net/netip"
 )
 
 // DNS Cookies (RFC 7873): a lightweight transaction-security mechanism
@@ -73,32 +74,43 @@ func CookieFromMessage(m *Message) (Cookie, bool) {
 	return o.GetCookie()
 }
 
-// ComputeServerCookie derives the 16-byte server cookie for a client
-// (cookie, address) under a server secret, using the RFC 9018 SipHash-2-4
-// construction over client-cookie || client-address keyed by the secret.
-func ComputeServerCookie(client [ClientCookieLen]byte, clientAddr string, secret uint64) []byte {
-	msg := make([]byte, 0, ClientCookieLen+len(clientAddr))
-	msg = append(msg, client[:]...)
-	msg = append(msg, clientAddr...)
+// ServerCookieLen is the size of the server cookies this platform issues.
+const ServerCookieLen = 16
+
+// serverCookie is the allocation-free core: the RFC 9018 SipHash-2-4
+// construction over client-cookie || client-address (16-byte canonical
+// form, so an IPv4 source and its v4-mapped IPv6 twin derive the same
+// cookie) keyed by the server secret.
+func serverCookie(client [ClientCookieLen]byte, clientAddr netip.Addr, secret uint64) [ServerCookieLen]byte {
+	var msg [ClientCookieLen + 16]byte
+	copy(msg[:ClientCookieLen], client[:])
+	a16 := clientAddr.As16()
+	copy(msg[ClientCookieLen:], a16[:])
 	// Two halves under domain-separated keys.
-	first := SipHash24(secret, 0x736563726574_0001, msg)
-	second := SipHash24(secret, 0x736563726574_0002, msg)
-	out := make([]byte, 16)
+	first := SipHash24(secret, 0x736563726574_0001, msg[:])
+	second := SipHash24(secret, 0x736563726574_0002, msg[:])
+	var out [ServerCookieLen]byte
 	binary.BigEndian.PutUint64(out[:8], first)
 	binary.BigEndian.PutUint64(out[8:], second)
 	return out
 }
 
+// ComputeServerCookie derives the 16-byte server cookie for a client
+// (cookie, address) under a server secret.
+func ComputeServerCookie(client [ClientCookieLen]byte, clientAddr netip.Addr, secret uint64) []byte {
+	out := serverCookie(client, clientAddr, secret)
+	return out[:]
+}
+
 // VerifyServerCookie reports whether a presented server cookie matches the
-// expected value for (client cookie, address, secret).
-func VerifyServerCookie(c Cookie, clientAddr string, secret uint64) bool {
-	if len(c.Server) == 0 {
+// expected value for (client cookie, address, secret). It allocates nothing:
+// the expected cookie is computed on the stack and compared in constant
+// time.
+func VerifyServerCookie(c Cookie, clientAddr netip.Addr, secret uint64) bool {
+	if len(c.Server) != ServerCookieLen {
 		return false
 	}
-	want := ComputeServerCookie(c.Client, clientAddr, secret)
-	if len(c.Server) != len(want) {
-		return false
-	}
+	want := serverCookie(c.Client, clientAddr, secret)
 	eq := byte(0)
 	for i := range want {
 		eq |= want[i] ^ c.Server[i]

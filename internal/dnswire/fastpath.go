@@ -1,0 +1,147 @@
+package dnswire
+
+// This file is the zero-allocation wire fast path: a one-pass, bounds-checked
+// summary of the common query shape (one question, optionally one OPT) that
+// the socket server consults before committing to a full Unpack. Anything
+// unusual — compressed question names, extra records, malformed options —
+// reports !ok and falls back to the slow path, so the fast path never has to
+// be lenient.
+
+// QueryView is an allocation-free summary of a standard query: header fields,
+// the question (whose name starts at byte 12 and runs QnameLen bytes,
+// terminal zero included), and the OPT essentials. It holds offsets into the
+// original packet rather than decoded values, so building one costs no heap.
+type QueryView struct {
+	ID       uint16
+	Flags    uint16
+	QnameLen int
+	QType    Type
+	QClass   Class
+	HasOPT   bool
+	UDPSize  uint16
+	// HasCookie / HasECS report whether the OPT carries a COOKIE (RFC 7873)
+	// or Client Subnet (RFC 7871) option — both force the slow path because
+	// their answers are client-specific.
+	HasCookie bool
+	HasECS    bool
+}
+
+// Response reports the QR bit.
+func (v QueryView) Response() bool { return v.Flags&(1<<15) != 0 }
+
+// OpCode extracts the operation code.
+func (v QueryView) OpCode() OpCode { return OpCode(v.Flags >> 11 & 0xF) }
+
+// RecursionDesired reports the RD bit.
+func (v QueryView) RecursionDesired() bool { return v.Flags&(1<<8) != 0 }
+
+// qnameStart is the fixed offset of the (first) question name.
+const qnameStart = 12
+
+// ParseQueryView summarizes a wire-format query without allocating. It
+// reports ok only for the canonical query shape: exactly one question with
+// an uncompressed name, no answer/authority records, and at most one
+// additional record which must be a well-formed OPT. Everything else —
+// including trailing garbage — reports !ok and must take the full Unpack
+// path (which produces the proper error handling).
+func ParseQueryView(wire []byte) (QueryView, bool) {
+	var v QueryView
+	if len(wire) < qnameStart {
+		return v, false
+	}
+	v.ID = uint16(wire[0])<<8 | uint16(wire[1])
+	v.Flags = uint16(wire[2])<<8 | uint16(wire[3])
+	qd := int(wire[4])<<8 | int(wire[5])
+	an := int(wire[6])<<8 | int(wire[7])
+	ns := int(wire[8])<<8 | int(wire[9])
+	ar := int(wire[10])<<8 | int(wire[11])
+	if qd != 1 || an != 0 || ns != 0 || ar > 1 {
+		return v, false
+	}
+	// Question name: plain labels only (queries never need compression).
+	off := qnameStart
+	for {
+		if off >= len(wire) {
+			return v, false
+		}
+		c := int(wire[off])
+		if c == 0 {
+			off++
+			break
+		}
+		if c > maxLabelLen { // compression pointer or reserved label type
+			return v, false
+		}
+		off += 1 + c
+	}
+	v.QnameLen = off - qnameStart
+	if v.QnameLen > maxNameWire {
+		return v, false
+	}
+	if off+4 > len(wire) {
+		return v, false
+	}
+	v.QType = Type(uint16(wire[off])<<8 | uint16(wire[off+1]))
+	v.QClass = Class(uint16(wire[off+2])<<8 | uint16(wire[off+3]))
+	off += 4
+	if ar == 1 {
+		// OPT pseudo-record: root name, TYPE=OPT, CLASS=UDP size, 4 TTL
+		// bytes, then RDLEN-framed options.
+		if off+11 > len(wire) || wire[off] != 0 {
+			return v, false
+		}
+		typ := Type(uint16(wire[off+1])<<8 | uint16(wire[off+2]))
+		if typ != TypeOPT {
+			return v, false
+		}
+		v.HasOPT = true
+		v.UDPSize = uint16(wire[off+3])<<8 | uint16(wire[off+4])
+		rdlen := int(wire[off+9])<<8 | int(wire[off+10])
+		off += 11
+		end := off + rdlen
+		if end > len(wire) {
+			return v, false
+		}
+		for off < end {
+			if off+4 > end {
+				return v, false
+			}
+			code := uint16(wire[off])<<8 | uint16(wire[off+1])
+			olen := int(wire[off+2])<<8 | int(wire[off+3])
+			off += 4
+			if off+olen > end {
+				return v, false
+			}
+			switch code {
+			case optCodeCookie:
+				v.HasCookie = true
+			case optCodeECS:
+				v.HasECS = true
+			}
+			off += olen
+		}
+	}
+	if off != len(wire) {
+		return v, false
+	}
+	return v, true
+}
+
+// AppendCacheKey appends the canonical hot-cache key for the query to dst:
+// the case-folded qname wire bytes, the qtype and qclass, and the caller's
+// payload size class. Length octets (1..63) never collide with the folded
+// range, so the whole name is folded blindly.
+func (v QueryView) AppendCacheKey(dst, wire []byte, sizeClass byte) []byte {
+	q := wire[qnameStart : qnameStart+v.QnameLen]
+	for i := 0; i < len(q); i++ {
+		c := q[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		dst = append(dst, c)
+	}
+	return append(dst,
+		byte(v.QType>>8), byte(v.QType),
+		byte(v.QClass>>8), byte(v.QClass),
+		sizeClass)
+}

@@ -1,0 +1,218 @@
+package dnswire
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+)
+
+func packQuery(t *testing.T, name string, typ Type, opt *OPTRecord) []byte {
+	t.Helper()
+	q := NewQuery(0x1234, MustName(name), typ)
+	if opt != nil {
+		q.Additional = append(q.Additional, opt)
+	}
+	wire, err := q.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wire
+}
+
+func TestParseQueryViewPlain(t *testing.T) {
+	wire := packQuery(t, "www.example.com", TypeA, nil)
+	v, ok := ParseQueryView(wire)
+	if !ok {
+		t.Fatal("plain query rejected")
+	}
+	if v.ID != 0x1234 || v.QType != TypeA || v.QClass != ClassINET {
+		t.Fatalf("view = %+v", v)
+	}
+	if v.HasOPT || v.HasCookie || v.HasECS || v.Response() {
+		t.Fatalf("spurious flags: %+v", v)
+	}
+	if v.OpCode() != OpQuery {
+		t.Fatalf("opcode = %v", v.OpCode())
+	}
+	// qname wire length: 1+3 + 1+7 + 1+3 + 1 = 17
+	if v.QnameLen != 17 {
+		t.Fatalf("QnameLen = %d, want 17", v.QnameLen)
+	}
+}
+
+func TestParseQueryViewEDNS(t *testing.T) {
+	opt := NewOPT(1232)
+	wire := packQuery(t, "a.test", TypeAAAA, opt)
+	v, ok := ParseQueryView(wire)
+	if !ok || !v.HasOPT || v.UDPSize != 1232 {
+		t.Fatalf("view = %+v ok=%v", v, ok)
+	}
+	// Cookie and ECS options must be flagged (they force the slow path).
+	optCk := NewOPT(4096)
+	optCk.SetCookie(Cookie{Client: [8]byte{1, 2, 3, 4, 5, 6, 7, 8}})
+	v, ok = ParseQueryView(packQuery(t, "a.test", TypeA, optCk))
+	if !ok || !v.HasCookie {
+		t.Fatalf("cookie not detected: %+v ok=%v", v, ok)
+	}
+	optECS := NewOPT(4096)
+	optECS.Options = append(optECS.Options, EDNSOption{Code: 8, Data: []byte{0, 1, 24, 0, 192, 0, 2}})
+	v, ok = ParseQueryView(packQuery(t, "a.test", TypeA, optECS))
+	if !ok || !v.HasECS {
+		t.Fatalf("ECS not detected: %+v ok=%v", v, ok)
+	}
+}
+
+func TestParseQueryViewRejectsOddShapes(t *testing.T) {
+	base := packQuery(t, "www.example.com", TypeA, nil)
+	cases := map[string][]byte{
+		"short header":     base[:11],
+		"trailing garbage": append(append([]byte{}, base...), 0xFF),
+		"truncated qname":  base[:14],
+	}
+	// QDCOUNT != 1.
+	two := append([]byte{}, base...)
+	two[5] = 2
+	cases["qdcount 2"] = two
+	// ANCOUNT != 0.
+	an := append([]byte{}, base...)
+	an[7] = 1
+	cases["ancount 1"] = an
+	// Compression pointer in the question name.
+	ptr := append([]byte{}, base[:12]...)
+	ptr = append(ptr, 0xC0, 0x0C, 0, 1, 0, 1)
+	cases["compressed qname"] = ptr
+	for name, wire := range cases {
+		if _, ok := ParseQueryView(wire); ok {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	// A response message still parses (the caller checks v.Response()).
+	resp := append([]byte{}, base...)
+	resp[2] |= 0x80
+	if v, ok := ParseQueryView(resp); !ok || !v.Response() {
+		t.Error("QR bit not reported")
+	}
+}
+
+func TestAppendCacheKeyFoldsCase(t *testing.T) {
+	lower := packQuery(t, "www.example.com", TypeA, nil)
+	upper := packQuery(t, "WwW.ExAmPlE.cOm", TypeA, nil)
+	vl, _ := ParseQueryView(lower)
+	vu, _ := ParseQueryView(upper)
+	kl := vl.AppendCacheKey(nil, lower, 2)
+	ku := vu.AppendCacheKey(nil, upper, 2)
+	if !bytes.Equal(kl, ku) {
+		t.Fatalf("case-folded keys differ:\n%x\n%x", kl, ku)
+	}
+	// Different size class or qtype must change the key.
+	if bytes.Equal(kl, vl.AppendCacheKey(nil, lower, 3)) {
+		t.Fatal("size class not part of key")
+	}
+	other := packQuery(t, "www.example.com", TypeAAAA, nil)
+	vo, _ := ParseQueryView(other)
+	if bytes.Equal(kl, vo.AppendCacheKey(nil, other, 2)) {
+		t.Fatal("qtype not part of key")
+	}
+}
+
+func TestUnpackIntoReusesMessage(t *testing.T) {
+	var m Message
+	wire1 := packQuery(t, "a.test", TypeA, NewOPT(1232))
+	if err := UnpackInto(&m, wire1); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Questions) != 1 || len(m.Additional) != 1 {
+		t.Fatalf("first unpack: %+v", m)
+	}
+	// Second decode into the same message: prior sections must not leak.
+	wire2 := packQuery(t, "b.test", TypeTXT, nil)
+	if err := UnpackInto(&m, wire2); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Questions) != 1 || m.Questions[0].Name != MustName("b.test") ||
+		len(m.Additional) != 0 || m.OPT() != nil {
+		t.Fatalf("reused message kept stale state: %+v", m)
+	}
+	// Header flags fully reset.
+	resp := NewResponse(NewQuery(9, MustName("c.test"), TypeA))
+	resp.Authoritative, resp.Truncated = true, true
+	rw, _ := resp.Pack()
+	if err := UnpackInto(&m, rw); err != nil {
+		t.Fatal(err)
+	}
+	if err := UnpackInto(&m, wire2); err != nil {
+		t.Fatal(err)
+	}
+	if m.Response || m.Authoritative || m.Truncated {
+		t.Fatalf("header not reset: %+v", m.Header)
+	}
+}
+
+func TestAppendPackSharedBuffer(t *testing.T) {
+	// Two messages packed back to back into one buffer must each decode
+	// from their own region: compression offsets are base-relative.
+	m1 := NewResponse(NewQuery(1, MustName("www.example.com"), TypeA))
+	m1.Answers = append(m1.Answers, &A{RRHeader{MustName("www.example.com"), TypeA, ClassINET, 60}, netip.MustParseAddr("192.0.2.1")})
+	m2 := NewResponse(NewQuery(2, MustName("deep.sub.example.org"), TypeNS))
+	m2.Authority = append(m2.Authority, &NS{RRHeader{MustName("example.org"), TypeNS, ClassINET, 60}, MustName("ns.example.org")})
+
+	buf, err := m1.AppendPack(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := len(buf)
+	buf, err = m2.AppendPack(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := Unpack(buf[:cut])
+	if err != nil {
+		t.Fatalf("first region: %v", err)
+	}
+	d2, err := Unpack(buf[cut:])
+	if err != nil {
+		t.Fatalf("second region: %v", err)
+	}
+	if d1.ID != 1 || len(d1.Answers) != 1 {
+		t.Fatalf("m1 round trip: %+v", d1)
+	}
+	if d2.ID != 2 || len(d2.Authority) != 1 ||
+		d2.Authority[0].(*NS).Target != MustName("ns.example.org") {
+		t.Fatalf("m2 round trip: %+v", d2)
+	}
+	// Standalone Pack must agree with AppendPack at base 0.
+	solo, err := m1.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(solo, buf[:cut]) {
+		t.Fatal("Pack and AppendPack disagree")
+	}
+}
+
+func TestAppendTruncateToReusesBuffer(t *testing.T) {
+	m := NewResponse(NewQuery(7, MustName("t.example"), TypeTXT))
+	for i := 0; i < 20; i++ {
+		m.Answers = append(m.Answers, &TXT{RRHeader{MustName("t.example"), TypeTXT, ClassINET, 60},
+			[]string{"0123456789012345678901234567890123456789"}})
+	}
+	buf := make([]byte, 0, 64)
+	fitted, wire, err := m.AppendTruncateTo(512, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fitted.Truncated || len(wire) > 512 {
+		t.Fatalf("truncated=%v len=%d", fitted.Truncated, len(wire))
+	}
+	dec, err := Unpack(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Truncated || len(dec.Answers) >= 20 {
+		t.Fatalf("decoded: TC=%v answers=%d", dec.Truncated, len(dec.Answers))
+	}
+	// The original message is untouched.
+	if m.Truncated || len(m.Answers) != 20 {
+		t.Fatal("AppendTruncateTo mutated its receiver")
+	}
+}

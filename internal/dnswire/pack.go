@@ -11,13 +11,15 @@ const MaxUDPPayload = 512
 
 // compressionMap tracks name → offset for DNS name compression
 // (RFC 1035 §4.1.4). Only offsets representable in a 14-bit pointer are
-// recorded.
+// recorded. Offsets are relative to base, the buffer index where the
+// message header starts (nonzero when packing into a shared buffer).
 type compressionMap struct {
 	offsets map[string]int
+	base    int
 }
 
-func newCompressionMap() *compressionMap {
-	return &compressionMap{offsets: make(map[string]int)}
+func newCompressionMap(base int) *compressionMap {
+	return &compressionMap{offsets: make(map[string]int), base: base}
 }
 
 // appendName writes name to buf using compression pointers where a suffix
@@ -33,7 +35,7 @@ func (cm *compressionMap) appendName(buf []byte, n Name) ([]byte, error) {
 			// Emit pointer to the previously-written suffix.
 			return append(buf, 0xC0|byte(off>>8), byte(off)), nil
 		}
-		off := len(buf)
+		off := len(buf) - cm.base
 		if off <= 0x3FFF {
 			cm.offsets[suffix] = off
 		}
@@ -55,7 +57,15 @@ func joinFrom(labels []string, i int) string {
 // from the slices; the header's QD/AN/NS/AR counts need not be set by the
 // caller.
 func (m *Message) Pack() ([]byte, error) {
-	buf := make([]byte, 0, 512)
+	return m.AppendPack(make([]byte, 0, 512))
+}
+
+// AppendPack serializes the message into wire format appended to buf,
+// which the caller owns (pass buf[:0] to reuse a pooled buffer on the hot
+// path). Compression offsets are relative to the message start, so several
+// messages may be packed back to back into one buffer.
+func (m *Message) AppendPack(buf []byte) ([]byte, error) {
+	base := len(buf)
 	// Header.
 	buf = appendUint16(buf, m.ID)
 	var flags uint16
@@ -91,7 +101,7 @@ func (m *Message) Pack() ([]byte, error) {
 	buf = appendUint16(buf, uint16(len(m.Authority)))
 	buf = appendUint16(buf, uint16(len(m.Additional)))
 
-	cm := newCompressionMap()
+	cm := newCompressionMap(base)
 	var err error
 	for _, q := range m.Questions {
 		if buf, err = cm.appendName(buf, q.Name); err != nil {
@@ -107,8 +117,8 @@ func (m *Message) Pack() ([]byte, error) {
 			}
 		}
 	}
-	if len(buf) > 0xFFFF {
-		return nil, fmt.Errorf("dnswire: message length %d exceeds 65535", len(buf))
+	if len(buf)-base > 0xFFFF {
+		return nil, fmt.Errorf("dnswire: message length %d exceeds 65535", len(buf)-base)
 	}
 	return buf, nil
 }
@@ -143,22 +153,30 @@ func packRR(buf []byte, rr RR, cm *compressionMap) ([]byte, error) {
 // any OPT record) and the TC bit is set if anything was removed. It packs
 // iteratively; for the platform's small responses one or two passes suffice.
 func (m *Message) TruncateTo(size int) (*Message, []byte, error) {
+	return m.AppendTruncateTo(size, make([]byte, 0, 512))
+}
+
+// AppendTruncateTo is TruncateTo packing into a caller-owned buffer: the
+// fitted wire is appended to buf (pass buf[:0] to reuse a pooled buffer).
+func (m *Message) AppendTruncateTo(size int, buf []byte) (*Message, []byte, error) {
+	base := len(buf)
 	out := *m
 	out.Answers = append([]RR(nil), m.Answers...)
 	out.Authority = append([]RR(nil), m.Authority...)
 	out.Additional = append([]RR(nil), m.Additional...)
 	for {
-		wire, err := out.Pack()
+		wire, err := out.AppendPack(buf[:base])
 		if err != nil {
 			return nil, nil, err
 		}
-		if len(wire) <= size {
+		if len(wire)-base <= size {
 			return &out, wire, nil
 		}
 		if !dropOne(&out) {
 			return nil, nil, fmt.Errorf("dnswire: cannot fit message into %d octets", size)
 		}
 		out.Truncated = true
+		buf = wire // keep any capacity grown by the oversized pass
 	}
 }
 

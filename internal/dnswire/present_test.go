@@ -38,7 +38,7 @@ func TestRRPresentationFormats(t *testing.T) {
 	}
 	// Empty TXT still encodes one empty string.
 	empty := &TXT{h(TypeTXT), nil}
-	buf, err := empty.packRData(nil, newCompressionMap())
+	buf, err := empty.packRData(nil, newCompressionMap(0))
 	if err != nil || len(buf) != 1 || buf[0] != 0 {
 		t.Fatalf("empty TXT rdata = %x, %v", buf, err)
 	}
@@ -100,19 +100,19 @@ func TestOPTAccessors(t *testing.T) {
 func TestCookieHelpersInPackage(t *testing.T) {
 	var cli [ClientCookieLen]byte
 	copy(cli[:], "abcdefgh")
-	srv := ComputeServerCookie(cli, "192.0.2.1", 7)
+	srv := ComputeServerCookie(cli, netip.MustParseAddr("192.0.2.1"), 7)
 	if len(srv) != 16 {
 		t.Fatalf("server cookie length %d", len(srv))
 	}
 	ck := Cookie{Client: cli, Server: srv}
-	if !VerifyServerCookie(ck, "192.0.2.1", 7) {
+	if !VerifyServerCookie(ck, netip.MustParseAddr("192.0.2.1"), 7) {
 		t.Fatal("verify failed")
 	}
-	if VerifyServerCookie(Cookie{Client: cli}, "192.0.2.1", 7) {
+	if VerifyServerCookie(Cookie{Client: cli}, netip.MustParseAddr("192.0.2.1"), 7) {
 		t.Fatal("empty server cookie verified")
 	}
 	short := Cookie{Client: cli, Server: srv[:8]}
-	if VerifyServerCookie(short, "192.0.2.1", 7) {
+	if VerifyServerCookie(short, netip.MustParseAddr("192.0.2.1"), 7) {
 		t.Fatal("length-mismatched cookie verified")
 	}
 	// Message-level plumbing.

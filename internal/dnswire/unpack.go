@@ -118,15 +118,30 @@ func (p *parser) name() (Name, error) {
 // Unpack parses a wire-format DNS message. It rejects trailing bytes, loops
 // in compression pointers, and out-of-bounds lengths.
 func Unpack(wire []byte) (*Message, error) {
-	p := &parser{msg: wire}
 	m := &Message{}
+	if err := UnpackInto(m, wire); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// UnpackInto is Unpack decoding into a caller-owned Message, reusing its
+// section slices (hot paths keep a pooled Message per worker instead of
+// allocating one per packet). The message is fully reset first.
+func UnpackInto(m *Message, wire []byte) error {
+	p := &parser{msg: wire}
+	m.Header = Header{}
+	m.Questions = m.Questions[:0]
+	m.Answers = m.Answers[:0]
+	m.Authority = m.Authority[:0]
+	m.Additional = m.Additional[:0]
 	id, err := p.uint16()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	flags, err := p.uint16()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	m.ID = id
 	m.Response = flags&(1<<15) != 0
@@ -140,42 +155,42 @@ func Unpack(wire []byte) (*Message, error) {
 	m.CheckingDisabled = flags&(1<<4) != 0
 	m.RCode = RCode(flags & 0xF)
 
-	counts := make([]uint16, 4)
+	var counts [4]uint16
 	for i := range counts {
 		if counts[i], err = p.uint16(); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	for i := 0; i < int(counts[0]); i++ {
 		var q Question
 		if q.Name, err = p.name(); err != nil {
-			return nil, fmt.Errorf("question %d: %w", i, err)
+			return fmt.Errorf("question %d: %w", i, err)
 		}
 		t, err := p.uint16()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		c, err := p.uint16()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		q.Type, q.Class = Type(t), Class(c)
 		m.Questions = append(m.Questions, q)
 	}
-	sections := []*[]RR{&m.Answers, &m.Authority, &m.Additional}
+	sections := [3]*[]RR{&m.Answers, &m.Authority, &m.Additional}
 	for si, sec := range sections {
 		for i := 0; i < int(counts[si+1]); i++ {
 			rr, err := p.rr()
 			if err != nil {
-				return nil, fmt.Errorf("section %d record %d: %w", si+1, i, err)
+				return fmt.Errorf("section %d record %d: %w", si+1, i, err)
 			}
 			*sec = append(*sec, rr)
 		}
 	}
 	if p.off != len(wire) {
-		return nil, ErrTrailingGarbage
+		return ErrTrailingGarbage
 	}
-	return m, nil
+	return nil
 }
 
 func (p *parser) rr() (RR, error) {

@@ -1,0 +1,155 @@
+package nameserver
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"akamaidns/internal/dnswire"
+	"akamaidns/internal/obs"
+)
+
+// HotCache is the packed-response cache behind the UDP fast path: for
+// queries whose answers are identical for every client (no tailoring, no
+// ECS, no cookies), the fitted wire bytes of a previous response are kept
+// keyed on (case-folded qname, qtype, qclass, payload size class) and
+// replayed with only the ID, RD bit, and qname casing patched. Entries are
+// immutable after insert, so a Lookup may hand out a *HotEntry without
+// holding any lock while the caller copies from it.
+//
+// Consistency is generation-based rather than per-entry: the zone store
+// advances a generation counter on every visible data change (zone
+// install/remove, record add/remove, serial bump), and the cache remembers
+// the generation its contents were computed at. Callers snapshot the store
+// generation BEFORE computing an answer and present it at Insert and
+// Lookup; any mismatch flushes the cache wholesale. A flush is cheap (drop
+// one map) and zone changes are rare relative to queries, so this trades a
+// tiny recompute burst after each change for zero per-entry bookkeeping on
+// hits.
+type HotCache struct {
+	mu      sync.RWMutex
+	entries map[string]*HotEntry
+	gen     uint64 // store generation the entries were computed at
+	max     int
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+// HotEntry is one cached packed response plus the metadata the fast path
+// needs to keep metrics and pipeline scoring identical to the slow path.
+type HotEntry struct {
+	// Wire is the full packed response, already fitted to the size class's
+	// payload floor. Bytes 0-1 (ID), the RD bit in byte 2, and the qname
+	// region are patched per-hit into the caller's send buffer; the entry
+	// itself is never written after insert.
+	Wire []byte
+	// QnameLen is the question name's wire length (terminal zero included),
+	// so hits can restore the client's 0x20 mixed-case spelling.
+	QnameLen int
+	// Name and Zone feed the scoring pipeline on hits without re-parsing.
+	Name dnswire.Name
+	Zone dnswire.Name
+	// RCode drives the per-rcode server counters.
+	RCode dnswire.RCode
+}
+
+// DefaultHotCacheSize bounds the cache when the caller does not.
+const DefaultHotCacheSize = 4096
+
+// NewHotCache builds a cache holding at most max packed responses
+// (DefaultHotCacheSize when max <= 0).
+func NewHotCache(max int) *HotCache {
+	if max <= 0 {
+		max = DefaultHotCacheSize
+	}
+	return &HotCache{entries: make(map[string]*HotEntry), max: max}
+}
+
+// Lookup returns the entry for key computed at the current store generation
+// gen. A generation mismatch flushes the cache and reports a miss. The key
+// is accepted as []byte so the compiler's map[string] lookup optimization
+// keeps the call allocation-free.
+func (c *HotCache) Lookup(key []byte, gen uint64) (*HotEntry, bool) {
+	c.mu.RLock()
+	if c.gen == gen {
+		e, ok := c.entries[string(key)]
+		c.mu.RUnlock()
+		if ok {
+			c.hits.Add(1)
+			return e, true
+		}
+		c.misses.Add(1)
+		return nil, false
+	}
+	stale := c.gen < gen && len(c.entries) > 0
+	c.mu.RUnlock()
+	if stale {
+		c.mu.Lock()
+		if c.gen < gen {
+			c.evictions.Add(uint64(len(c.entries)))
+			c.entries = make(map[string]*HotEntry)
+			c.gen = gen
+		}
+		c.mu.Unlock()
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// Insert stores an entry computed while the store was at generation gen.
+// Entries computed against an older generation than the cache has already
+// seen are dropped (the data may describe deleted records); a newer
+// generation flushes the stale contents first. The key bytes are copied.
+func (c *HotCache) Insert(key []byte, e *HotEntry, gen uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gen < c.gen {
+		return
+	}
+	if gen > c.gen {
+		c.evictions.Add(uint64(len(c.entries)))
+		c.entries = make(map[string]*HotEntry)
+		c.gen = gen
+	}
+	if _, exists := c.entries[string(key)]; !exists && len(c.entries) >= c.max {
+		// Random replacement: Go map iteration order serves as the
+		// pseudo-random victim pick, which is plenty for a hot cache whose
+		// working set is far below max in steady state.
+		for k := range c.entries {
+			delete(c.entries, k)
+			c.evictions.Add(1)
+			break
+		}
+	}
+	c.entries[string(key)] = e
+}
+
+// Len reports the current entry count.
+func (c *HotCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}
+
+// Stats returns cumulative hit/miss/eviction counts.
+func (c *HotCache) Stats() (hits, misses, evictions uint64) {
+	return c.hits.Load(), c.misses.Load(), c.evictions.Load()
+}
+
+// Instrument registers the cache's counters and entry gauge on reg.
+// Collection happens at scrape time; the hit path touches only the atomics.
+func (c *HotCache) Instrument(reg *obs.Registry) {
+	reg.CounterFunc(obs.MetricHotCacheHitsTotal,
+		"Queries answered from the packed-response hot cache.",
+		func() float64 { return float64(c.hits.Load()) })
+	reg.CounterFunc(obs.MetricHotCacheMissesTotal,
+		"Hot-cache-eligible queries that required a full lookup.",
+		func() float64 { return float64(c.misses.Load()) })
+	reg.CounterFunc(obs.MetricHotCacheEvictionsTotal,
+		"Hot-cache entries dropped by capacity or zone-change flushes.",
+		func() float64 { return float64(c.evictions.Load()) })
+	reg.GaugeFunc(obs.MetricHotCacheEntries,
+		"Packed responses currently resident in the hot cache.",
+		func() float64 { return float64(c.Len()) })
+}

@@ -4,6 +4,8 @@ import (
 	"testing"
 	"time"
 
+	"net/netip"
+
 	"akamaidns/internal/dnswire"
 	"akamaidns/internal/filters"
 	"akamaidns/internal/nameserver"
@@ -51,7 +53,7 @@ func TestCookieIssuedOnFirstQuery(t *testing.T) {
 		t.Fatal("client cookie not echoed")
 	}
 	// The issued cookie verifies for our address.
-	if !dnswire.VerifyServerCookie(got, "127.0.0.1", srv.Cfg.CookieSecret) {
+	if !dnswire.VerifyServerCookie(got, netip.MustParseAddr("127.0.0.1"), srv.Cfg.CookieSecret) {
 		t.Fatal("issued cookie does not verify")
 	}
 }
@@ -121,7 +123,7 @@ func TestValidCookieBypassesPipeline(t *testing.T) {
 	}
 	// Hand-compute the valid cookie and retry: answered.
 	valid := dnswire.Cookie{Client: ck.Client,
-		Server: dnswire.ComputeServerCookie(ck.Client, "127.0.0.1", srv.Cfg.CookieSecret)}
+		Server: dnswire.ComputeServerCookie(ck.Client, netip.MustParseAddr("127.0.0.1"), srv.Cfg.CookieSecret)}
 	resp, err := Exchange(srv.UDPAddrActual(), cookieQuery(7, &valid), false, time.Second)
 	if err != nil {
 		t.Fatal(err)
@@ -134,7 +136,7 @@ func TestValidCookieBypassesPipeline(t *testing.T) {
 func TestCookieWireRoundTrip(t *testing.T) {
 	opt := dnswire.NewOPT(1232)
 	want := dnswire.Cookie{Client: [8]byte{1, 2, 3, 4, 5, 6, 7, 8},
-		Server: dnswire.ComputeServerCookie([8]byte{1, 2, 3, 4, 5, 6, 7, 8}, "10.0.0.1", 42)}
+		Server: dnswire.ComputeServerCookie([8]byte{1, 2, 3, 4, 5, 6, 7, 8}, netip.MustParseAddr("10.0.0.1"), 42)}
 	if err := opt.SetCookie(want); err != nil {
 		t.Fatal(err)
 	}
@@ -153,13 +155,13 @@ func TestCookieWireRoundTrip(t *testing.T) {
 		t.Fatalf("cookie round trip: %+v", got)
 	}
 	// Verification is address-bound.
-	if dnswire.VerifyServerCookie(got, "10.0.0.2", 42) {
+	if dnswire.VerifyServerCookie(got, netip.MustParseAddr("10.0.0.2"), 42) {
 		t.Fatal("cookie verified for wrong address")
 	}
-	if dnswire.VerifyServerCookie(got, "10.0.0.1", 43) {
+	if dnswire.VerifyServerCookie(got, netip.MustParseAddr("10.0.0.1"), 43) {
 		t.Fatal("cookie verified for wrong secret")
 	}
-	if !dnswire.VerifyServerCookie(got, "10.0.0.1", 42) {
+	if !dnswire.VerifyServerCookie(got, netip.MustParseAddr("10.0.0.1"), 42) {
 		t.Fatal("cookie did not verify")
 	}
 }

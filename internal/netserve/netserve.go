@@ -3,14 +3,24 @@
 // AXFR-style zone transfer, RFC 5936 framing). It drives the exact same
 // zone store, engine, and scoring pipeline as the simulation, so the
 // Figure 10 testbed exercises production code paths.
+//
+// The UDP side is built for throughput: a configurable number of read
+// loops over SO_REUSEPORT sockets (or a worker pool sharing one socket
+// where the option is unavailable), pooled read/write buffers and reused
+// message structs so the steady state allocates nothing per packet, and a
+// packed-response hot cache that replays ready-to-send wire bytes for
+// queries whose answers are identical for every client.
 package netserve
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"net"
+	"net/netip"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -30,6 +40,14 @@ type Config struct {
 	// disables that listener.
 	UDPAddr string
 	TCPAddr string
+	// UDPWorkers sets the number of parallel UDP read loops (default
+	// GOMAXPROCS). On Linux each worker gets its own SO_REUSEPORT socket so
+	// the kernel load-balances packets across independent receive queues;
+	// elsewhere the workers share one socket.
+	UDPWorkers int
+	// HotCacheSize bounds the packed-response hot cache (0 = default size,
+	// negative disables the cache entirely).
+	HotCacheSize int
 	// Smax discards queries outright when the pipeline scores at or above
 	// it (0 disables scoring-based discard).
 	Smax float64
@@ -99,8 +117,15 @@ type Server struct {
 	// drop on overload, and per-queue depth gauges on Reg.
 	admission *queue.Q
 
+	// hot caches packed responses for non-tailored answers, keyed on
+	// (case-folded qname, qtype, qclass, payload size class).
+	hot *nameserver.HotCache
+	// resolvers interns source-address strings so the per-packet filter
+	// and engine keys stop allocating.
+	resolvers internTable
+
 	started time.Time
-	udp     *net.UDPConn
+	udps    []*net.UDPConn
 	tcp     net.Listener
 	wg      sync.WaitGroup
 	closed  atomic.Bool
@@ -136,6 +161,10 @@ func NewWithRegistry(cfg Config, eng *nameserver.Engine, pipeline *filters.Pipel
 			s.admission.Instrument(reg)
 		}
 	}
+	if cfg.HotCacheSize >= 0 {
+		s.hot = nameserver.NewHotCache(cfg.HotCacheSize)
+		s.hot.Instrument(reg)
+	}
 	return s
 }
 
@@ -154,26 +183,100 @@ func (s *Server) now() simtime.Time {
 	return simtime.Time(time.Since(s.started))
 }
 
+// internTable maps source addresses to their canonical string form once,
+// so the per-packet filter and engine keys stop paying netip.Addr.String.
+// Bounded: a flood of distinct spoofed sources resets the table rather than
+// growing it without limit.
+type internTable struct {
+	mu sync.RWMutex
+	m  map[netip.Addr]string
+}
+
+const internTableMax = 1 << 16
+
+func (t *internTable) key(a netip.Addr) string {
+	a = a.Unmap()
+	t.mu.RLock()
+	s, ok := t.m[a]
+	t.mu.RUnlock()
+	if ok {
+		return s
+	}
+	s = a.String()
+	t.mu.Lock()
+	if t.m == nil || len(t.m) >= internTableMax {
+		t.m = make(map[netip.Addr]string)
+	}
+	t.m[a] = s
+	t.mu.Unlock()
+	return s
+}
+
+func (s *Server) resolverKey(a netip.Addr) string { return s.resolvers.key(a) }
+
+// scratch is the per-worker reusable state: a query message whose section
+// slices survive across packets, a response wire buffer, and a hot-cache
+// key buffer. UDP read loops hold one for their lifetime; TCP connections
+// borrow one from the pool.
+type scratch struct {
+	q      dnswire.Message
+	out    []byte
+	key    []byte
+	insert cacheIntent
+}
+
+// cacheIntent carries a fast-path miss into the slow path: the key bytes
+// (left in scratch.key), the store generation snapshotted before the
+// lookup, and the size-class payload floor the packed response must fit.
+type cacheIntent struct {
+	active   bool
+	gen      uint64
+	floor    int
+	qnameLen int
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	return &scratch{out: make([]byte, 0, 4096), key: make([]byte, 0, 512)}
+}}
+
+// bufPool holds the 64 KiB UDP read buffers.
+var bufPool = sync.Pool{New: func() any {
+	b := make([]byte, 64<<10)
+	return &b
+}}
+
 // Start opens the listeners and serves until Close.
 func (s *Server) Start() error {
 	if s.Cfg.UDPAddr != "" {
-		addr, err := net.ResolveUDPAddr("udp", s.Cfg.UDPAddr)
+		workers := s.Cfg.UDPWorkers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		conns, err := listenUDPGroup(s.Cfg.UDPAddr, workers)
 		if err != nil {
 			return err
 		}
-		s.udp, err = net.ListenUDP("udp", addr)
-		if err != nil {
-			return err
+		s.udps = conns
+		if len(conns) == 1 {
+			// Shared socket: N workers drain one receive queue.
+			for i := 0; i < workers; i++ {
+				s.wg.Add(1)
+				go s.serveUDP(conns[0])
+			}
+		} else {
+			// SO_REUSEPORT group: one worker per socket, kernel-balanced.
+			for _, c := range conns {
+				s.wg.Add(1)
+				go s.serveUDP(c)
+			}
 		}
-		s.wg.Add(1)
-		go s.serveUDP()
 	}
 	if s.Cfg.TCPAddr != "" {
 		var err error
 		s.tcp, err = net.Listen("tcp", s.Cfg.TCPAddr)
 		if err != nil {
-			if s.udp != nil {
-				s.udp.Close()
+			for _, c := range s.udps {
+				c.Close()
 			}
 			return err
 		}
@@ -183,12 +286,52 @@ func (s *Server) Start() error {
 	return nil
 }
 
+// listenUDPGroup opens the UDP listeners for n workers: n SO_REUSEPORT
+// sockets bound to the same address where the platform supports it, one
+// shared socket otherwise. The first socket determines the port for ":0"
+// binds.
+func listenUDPGroup(addr string, n int) ([]*net.UDPConn, error) {
+	single := func() ([]*net.UDPConn, error) {
+		a, err := net.ResolveUDPAddr("udp", addr)
+		if err != nil {
+			return nil, err
+		}
+		c, err := net.ListenUDP("udp", a)
+		if err != nil {
+			return nil, err
+		}
+		return []*net.UDPConn{c}, nil
+	}
+	if n <= 1 || !reusePortAvailable {
+		return single()
+	}
+	lc := reusePortListenConfig()
+	pc, err := lc.ListenPacket(context.Background(), "udp", addr)
+	if err != nil {
+		// Kernel refused the option; fall back to one shared socket.
+		return single()
+	}
+	conns := []*net.UDPConn{pc.(*net.UDPConn)}
+	bound := conns[0].LocalAddr().String()
+	for len(conns) < n {
+		pc, err := lc.ListenPacket(context.Background(), "udp", bound)
+		if err != nil {
+			for _, c := range conns {
+				c.Close()
+			}
+			return nil, err
+		}
+		conns = append(conns, pc.(*net.UDPConn))
+	}
+	return conns, nil
+}
+
 // UDPAddrActual reports the bound UDP address (for :0 listeners).
 func (s *Server) UDPAddrActual() string {
-	if s.udp == nil {
+	if len(s.udps) == 0 {
 		return ""
 	}
-	return s.udp.LocalAddr().String()
+	return s.udps[0].LocalAddr().String()
 }
 
 // TCPAddrActual reports the bound TCP address.
@@ -204,8 +347,8 @@ func (s *Server) Close() {
 	if !s.closed.CompareAndSwap(false, true) {
 		return
 	}
-	if s.udp != nil {
-		s.udp.Close()
+	for _, c := range s.udps {
+		c.Close()
 	}
 	if s.tcp != nil {
 		s.tcp.Close()
@@ -213,36 +356,166 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
-func (s *Server) serveUDP() {
+// serveUDP is one UDP read loop. Buffers, the query message, and the
+// response buffer are acquired once and reused for every packet the worker
+// handles; the address travels as a netip.AddrPort so nothing on the read
+// path allocates.
+func (s *Server) serveUDP(conn *net.UDPConn) {
 	defer s.wg.Done()
-	buf := make([]byte, 65535)
+	bp := bufPool.Get().(*[]byte)
+	defer bufPool.Put(bp)
+	buf := *bp
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
 	for {
-		n, raddr, err := s.udp.ReadFromUDP(buf)
+		n, src, err := conn.ReadFromUDPAddrPort(buf)
 		if err != nil {
 			return // closed
 		}
 		s.Metrics.UDPQueries.Add(1)
-		resp := s.handle(buf[:n], raddr.IP.String(), false)
+		resp := s.handlePacket(buf[:n], src, false, sc)
 		if resp == nil {
 			continue
 		}
-		if _, err := s.udp.WriteToUDP(resp, raddr); err != nil {
+		if _, err := conn.WriteToUDPAddrPort(resp, src); err != nil {
 			s.Metrics.WriteErrors.Add(1)
 		}
 	}
 }
 
-// handle decodes, scores, answers, and encodes one message. Returns nil
-// when the query is dropped (discard or undecodable with no ID). The
-// tracer stamps each stage: receive (decode) → cookie → score → queue →
-// lookup → write (encode/truncate).
-func (s *Server) handle(wire []byte, srcIP string, tcp bool) []byte {
+// handlePacket serves one message: the UDP hot path first (packed-response
+// cache behind an allocation-free query parse), then the full
+// decode/score/answer/encode slow path. The returned slice is valid until
+// the next handlePacket call with the same scratch.
+func (s *Server) handlePacket(wire []byte, src netip.AddrPort, tcp bool, sc *scratch) []byte {
+	if !tcp && s.hot != nil && s.Engine.Tailor == nil && !s.Cfg.RequireCookies {
+		if v, ok := dnswire.ParseQueryView(wire); ok {
+			if out, done := s.handleFast(wire, v, src, sc); done {
+				return out
+			}
+		}
+	}
+	return s.handleSlow(wire, src, tcp, sc)
+}
+
+// sizeClassUDP buckets a query's advertised payload limit so one cached
+// wire can serve every client in the bucket: the cached response is fitted
+// to the bucket's floor, the smallest limit a member may have advertised.
+// Clients advertising below the classic 512-octet minimum are eccentric
+// enough to take the slow path.
+func sizeClassUDP(v dnswire.QueryView) (class byte, floor int, ok bool) {
+	if !v.HasOPT {
+		return 2, dnswire.MaxUDPPayload, true
+	}
+	size := int(v.UDPSize)
+	switch {
+	case size < dnswire.MaxUDPPayload:
+		return 0, 0, false
+	case size < 1232:
+		return 3, dnswire.MaxUDPPayload, true
+	case size < 4096:
+		return 4, 1232, true
+	default:
+		return 5, 4096, true
+	}
+}
+
+// handleFast attempts the packed-response path. It reports done=false when
+// the query must take the slow path — either ineligible (client-specific
+// answer: cookies, ECS, odd shape) or a cache miss, in which case
+// sc.insert tells the slow path to populate the cache. On a hit the cached
+// wire is replayed with the ID, RD bit, and qname casing patched, so 0x20
+// mixed-case encoding round-trips exactly.
+func (s *Server) handleFast(wire []byte, v dnswire.QueryView, src netip.AddrPort, sc *scratch) ([]byte, bool) {
+	if v.Response() {
+		return nil, true // QR-bit filtering: reflection junk is dropped silently
+	}
+	if v.OpCode() != dnswire.OpQuery || v.QClass != dnswire.ClassINET {
+		return nil, false
+	}
+	switch v.QType {
+	case dnswire.TypeAXFR, dnswire.TypeIXFR, dnswire.TypeANY:
+		return nil, false
+	}
+	if v.HasECS || v.HasCookie {
+		return nil, false
+	}
+	class, floor, ok := sizeClassUDP(v)
+	if !ok {
+		return nil, false
+	}
 	span := s.Tracer.Begin()
-	q, err := dnswire.Unpack(wire)
+	span.Mark(obs.StageReceive)
+	span.Mark(obs.StageCookie)
+	gen := s.Engine.Store.Gen()
+	sc.key = v.AppendCacheKey(sc.key[:0], wire, class)
+	e, hit := s.hot.Lookup(sc.key, gen)
+	if !hit {
+		sc.insert = cacheIntent{active: true, gen: gen, floor: floor, qnameLen: v.QnameLen}
+		return nil, false
+	}
+	// Pipeline parity: cached answers score and pass ladder admission
+	// exactly like slow-path ones, using the entry's parsed name and zone.
+	if s.Pipeline != nil && s.Cfg.Smax > 0 {
+		fq := filters.Query{
+			Resolver: s.resolverKey(src.Addr()),
+			Name:     e.Name,
+			Type:     v.QType,
+			Zone:     e.Zone,
+			IPTTL:    64,
+			Now:      s.now(),
+		}
+		score, _ := s.Pipeline.Score(&fq)
+		span.Mark(obs.StageScore)
+		if s.admission != nil {
+			switch s.admission.Admit(score) {
+			case queue.Discarded:
+				s.Metrics.Discarded.Add(1)
+				return nil, true
+			case queue.TailDropped:
+				s.Metrics.TailDropped.Add(1)
+				return nil, true
+			}
+		} else if score >= s.Cfg.Smax {
+			s.Metrics.Discarded.Add(1)
+			return nil, true
+		}
+		span.Mark(obs.StageQueue)
+	}
+	span.Mark(obs.StageLookup)
+	out := append(sc.out[:0], e.Wire...)
+	out[0], out[1] = byte(v.ID>>8), byte(v.ID)
+	if v.RecursionDesired() {
+		out[2] |= 0x01
+	} else {
+		out[2] &^= 0x01
+	}
+	// Restore the client's exact qname spelling (0x20 case randomization).
+	copy(out[12:12+v.QnameLen], wire[12:12+v.QnameLen])
+	sc.out = out
+	span.Mark(obs.StageWrite)
+	span.End()
+	return out, true
+}
+
+// handleSlow decodes, scores, answers, and encodes one message. Returns
+// nil when the query is dropped (discard or undecodable with no usable
+// header). The tracer stamps each stage: receive (decode) → cookie →
+// score → queue → lookup → write (encode/truncate).
+func (s *Server) handleSlow(wire []byte, src netip.AddrPort, tcp bool, sc *scratch) []byte {
+	intent := sc.insert
+	sc.insert = cacheIntent{}
+	span := s.Tracer.Begin()
+	q := &sc.q
+	err := dnswire.UnpackInto(q, wire)
 	span.Mark(obs.StageReceive)
 	if err != nil {
 		s.Metrics.DecodeErrors.Add(1)
-		return formErrFor(wire)
+		out := formErrFor(wire, sc.out[:0])
+		if out != nil {
+			sc.out = out
+		}
+		return out
 	}
 	if q.Response {
 		return nil // QR-bit filtering: reflection junk never reaches the engine
@@ -254,10 +527,11 @@ func (s *Server) handle(wire []byte, srcIP string, tcp bool) []byte {
 		}
 		r := dnswire.NewResponse(q)
 		r.Authoritative = true
-		out, err := r.Pack()
+		out, err := r.AppendPack(sc.out[:0])
 		if err != nil {
 			return nil
 		}
+		sc.out = out
 		return out
 	}
 	// DNS Cookies: a valid server cookie proves the source address.
@@ -266,7 +540,7 @@ func (s *Server) handle(wire []byte, srcIP string, tcp bool) []byte {
 	if s.Cfg.Cookies {
 		if ck, ok := dnswire.CookieFromMessage(q); ok {
 			clientCookie = &ck
-			cookieValid = dnswire.VerifyServerCookie(ck, srcIP, s.Cfg.CookieSecret)
+			cookieValid = dnswire.VerifyServerCookie(ck, src.Addr(), s.Cfg.CookieSecret)
 		}
 		if s.Cfg.RequireCookies && !tcp && !cookieValid {
 			// Refuse, attaching the correct cookie so a real (non-spoofed)
@@ -277,21 +551,24 @@ func (s *Server) handle(wire []byte, srcIP string, tcp bool) []byte {
 			if clientCookie != nil {
 				opt.SetCookie(dnswire.Cookie{
 					Client: clientCookie.Client,
-					Server: dnswire.ComputeServerCookie(clientCookie.Client, srcIP, s.Cfg.CookieSecret),
+					Server: dnswire.ComputeServerCookie(clientCookie.Client, src.Addr(), s.Cfg.CookieSecret),
 				})
 			}
 			r.Additional = append(r.Additional, opt)
-			out, err := r.Pack()
+			out, err := r.AppendPack(sc.out[:0])
 			if err != nil {
 				return nil
 			}
+			sc.out = out
 			return out
 		}
 	}
 	span.Mark(obs.StageCookie)
+	srcKey := ""
 	if s.Pipeline != nil && len(q.Questions) == 1 && s.Cfg.Smax > 0 && !cookieValid {
-		fq := &filters.Query{
-			Resolver: srcIP,
+		srcKey = s.resolverKey(src.Addr())
+		fq := filters.Query{
+			Resolver: srcKey,
 			Name:     q.Questions[0].Name,
 			Type:     q.Questions[0].Type,
 			IPTTL:    64, // kernel does not expose arriving TTL portably
@@ -300,13 +577,13 @@ func (s *Server) handle(wire []byte, srcIP string, tcp bool) []byte {
 		if z := s.Engine.Store.Find(fq.Name); z != nil {
 			fq.Zone = z.Origin()
 		}
-		score, _ := s.Pipeline.Score(fq)
+		score, _ := s.Pipeline.Score(&fq)
 		span.Mark(obs.StageScore)
 		if s.admission != nil {
 			// Queue admission (§4.3.3): serving is synchronous, so admitted
 			// queries pass straight through the ladder, but discard and tail
 			// drop decisions — and the depth gauges — are the production ones.
-			switch s.admission.Enqueue(score, nil) {
+			switch s.admission.Admit(score) {
 			case queue.Discarded:
 				s.Metrics.Discarded.Add(1)
 				return nil
@@ -314,7 +591,6 @@ func (s *Server) handle(wire []byte, srcIP string, tcp bool) []byte {
 				s.Metrics.TailDropped.Add(1)
 				return nil
 			}
-			s.admission.Dequeue()
 		} else if score >= s.Cfg.Smax {
 			// Pipeline attached after construction: no ladder, plain discard.
 			s.Metrics.Discarded.Add(1)
@@ -322,13 +598,16 @@ func (s *Server) handle(wire []byte, srcIP string, tcp bool) []byte {
 		}
 		span.Mark(obs.StageQueue)
 	}
-	resp, _, crashed := s.Engine.Answer(q, srcIP)
+	if srcKey == "" {
+		srcKey = s.resolverKey(src.Addr())
+	}
+	resp, matched, crashed := s.Engine.Answer(q, srcKey)
 	span.Mark(obs.StageLookup)
 	if !crashed && s.Cfg.Cookies && clientCookie != nil {
 		if ro := resp.OPT(); ro != nil {
 			ro.SetCookie(dnswire.Cookie{
 				Client: clientCookie.Client,
-				Server: dnswire.ComputeServerCookie(clientCookie.Client, srcIP, s.Cfg.CookieSecret),
+				Server: dnswire.ComputeServerCookie(clientCookie.Client, src.Addr(), s.Cfg.CookieSecret),
 			})
 		}
 	}
@@ -347,34 +626,51 @@ func (s *Server) handle(wire []byte, srcIP string, tcp bool) []byte {
 	if tcp {
 		limit = 65535
 	}
-	fitted, wireOut, err := resp.TruncateTo(limit)
+	fitted, wireOut, err := resp.AppendTruncateTo(limit, sc.out[:0])
 	span.Mark(obs.StageWrite)
 	span.End()
 	if err != nil {
 		s.Metrics.WriteErrors.Add(1)
 		return nil
 	}
+	sc.out = wireOut
 	if fitted.Truncated {
 		s.Metrics.Truncated.Add(1)
+	}
+	// Populate the hot cache when the fast path asked for it and the
+	// response is replayable: untruncated, within the size class's floor,
+	// and not an error about the query's own form. Cookie echo cannot have
+	// happened here — cookie-bearing queries never set an intent.
+	if intent.active && !fitted.Truncated && len(wireOut) <= intent.floor &&
+		resp.RCode != dnswire.RCodeFormErr && len(q.Questions) == 1 {
+		s.hot.Insert(sc.key, &nameserver.HotEntry{
+			Wire:     append([]byte(nil), wireOut...),
+			QnameLen: intent.qnameLen,
+			Name:     q.Questions[0].Name,
+			Zone:     matched,
+			RCode:    resp.RCode,
+		}, intent.gen)
 	}
 	return wireOut
 }
 
-// formErrFor builds a FORMERR reply echoing the query ID when at least the
-// header was readable.
-func formErrFor(wire []byte) []byte {
+// formErrFor builds a FORMERR reply for an undecodable packet, directly as
+// wire bytes into out. It answers only packets carrying a complete header
+// whose QR bit is clear — anything shorter gives no trustworthy flags to
+// echo, and answering would turn malformed garbage into reflection ammo.
+// The reply echoes the ID, opcode, and RD bit; all counts are zero.
+func formErrFor(wire, out []byte) []byte {
 	if len(wire) < 12 {
 		return nil
 	}
-	m := &dnswire.Message{Header: dnswire.Header{
-		ID:       binary.BigEndian.Uint16(wire[:2]),
-		Response: true,
-		RCode:    dnswire.RCodeFormErr,
-	}}
-	out, err := m.Pack()
-	if err != nil {
-		return nil
+	if wire[2]&0x80 != 0 {
+		return nil // QR set: never respond to a response
 	}
+	out = append(out,
+		wire[0], wire[1], // ID
+		0x80|wire[2]&0x79, // QR=1, opcode and RD echoed, AA/TC clear
+		byte(dnswire.RCodeFormErr), // RA/Z clear, RCODE=FORMERR
+		0, 0, 0, 0, 0, 0, 0, 0) // zero section counts
 	return out
 }
 
@@ -395,7 +691,14 @@ func (s *Server) serveTCP() {
 }
 
 func (s *Server) serveTCPConn(conn net.Conn) {
-	src, _, _ := net.SplitHostPort(conn.RemoteAddr().String())
+	var src netip.AddrPort
+	if ta, ok := conn.RemoteAddr().(*net.TCPAddr); ok {
+		src = ta.AddrPort()
+	} else if ap, err := netip.ParseAddrPort(conn.RemoteAddr().String()); err == nil {
+		src = ap
+	}
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
 	for {
 		if s.Cfg.ReadTimeout > 0 {
 			conn.SetReadDeadline(time.Now().Add(s.Cfg.ReadTimeout))
@@ -416,7 +719,7 @@ func (s *Server) serveTCPConn(conn net.Conn) {
 				continue
 			}
 		}
-		resp := s.handle(wire, src, true)
+		resp := s.handlePacket(wire, src, true, sc)
 		if resp == nil {
 			continue
 		}
@@ -531,7 +834,9 @@ func Exchange(addr string, q *dnswire.Message, tcp bool, timeout time.Duration) 
 	if _, err := conn.Write(wire); err != nil {
 		return nil, err
 	}
-	buf := make([]byte, 65535)
+	bp := bufPool.Get().(*[]byte)
+	defer bufPool.Put(bp)
+	buf := *bp
 	n, err := conn.Read(buf)
 	if err != nil {
 		return nil, err

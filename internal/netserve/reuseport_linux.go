@@ -1,0 +1,35 @@
+//go:build linux
+
+package netserve
+
+import (
+	"net"
+	"syscall"
+)
+
+// reusePortAvailable reports whether this platform can open several UDP
+// sockets bound to one address, letting the kernel hash incoming datagrams
+// across them (one receive queue per read loop, no shared socket lock).
+const reusePortAvailable = true
+
+// soReusePort is SO_REUSEPORT. The frozen syscall package does not export
+// it (it postdates the freeze) and the repo avoids golang.org/x/sys, so the
+// value is spelled out; it is 15 on every Linux architecture.
+const soReusePort = 15
+
+// reusePortListenConfig returns a ListenConfig whose sockets set
+// SO_REUSEPORT before bind, so all members of the group share the port.
+func reusePortListenConfig() *net.ListenConfig {
+	return &net.ListenConfig{
+		Control: func(network, address string, c syscall.RawConn) error {
+			var serr error
+			err := c.Control(func(fd uintptr) {
+				serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+			})
+			if err != nil {
+				return err
+			}
+			return serr
+		},
+	}
+}

@@ -1,0 +1,12 @@
+//go:build !linux
+
+package netserve
+
+import "net"
+
+// reusePortAvailable: without a portable SO_REUSEPORT the server falls
+// back to N read loops sharing one socket, which still overlaps packet
+// handling with socket reads.
+const reusePortAvailable = false
+
+func reusePortListenConfig() *net.ListenConfig { return &net.ListenConfig{} }

@@ -57,6 +57,12 @@ const (
 	MetricQueueDiscardedTotal   = "akamaidns_queue_discarded_total"
 	MetricQueueTailDroppedTotal = "akamaidns_queue_taildropped_total"
 
+	// Packed-response hot cache.
+	MetricHotCacheHitsTotal      = "akamaidns_hotcache_hits_total"
+	MetricHotCacheMissesTotal    = "akamaidns_hotcache_misses_total"
+	MetricHotCacheEvictionsTotal = "akamaidns_hotcache_evictions_total"
+	MetricHotCacheEntries        = "akamaidns_hotcache_entries"
+
 	// Query-lifecycle tracing.
 	MetricQueryDuration = "akamaidns_query_duration_seconds"       // end-to-end histogram
 	MetricStageDuration = "akamaidns_query_stage_duration_seconds" // label: stage

@@ -113,6 +113,49 @@ func (q *Q) Enqueue(score float64, payload any) Outcome {
 	return Accepted
 }
 
+// Admit classifies a score without queueing a payload: the same ladder
+// placement and counters as an Enqueue immediately followed by a Dequeue,
+// minus the slice traffic. The socket server uses it when queries are
+// processed synchronously on the read loop, where materializing the item
+// only to pop it again would serialize workers on the queue slices.
+func (q *Q) Admit(score float64) Outcome {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if score >= q.cfg.Smax {
+		q.stats.Discarded++
+		return Discarded
+	}
+	idx := len(q.queues) - 1
+	for i, m := range q.cfg.MaxScores {
+		if score <= m {
+			idx = i
+			break
+		}
+	}
+	if len(q.queues[idx]) >= q.cfg.Capacity {
+		q.stats.TailDropped++
+		return TailDropped
+	}
+	q.stats.Enqueued++
+	q.stats.PerQueue[idx]++
+	q.stats.Dequeued++
+	return Accepted
+}
+
+// Admit on the FIFO comparator: accept unless full, mirroring Enqueue+Dequeue.
+func (f *FIFO) Admit(score float64) Outcome {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.items) >= f.capacity {
+		f.stats.TailDropped++
+		return TailDropped
+	}
+	f.stats.Enqueued++
+	f.stats.PerQueue[0]++
+	f.stats.Dequeued++
+	return Accepted
+}
+
 // Outcome is the result of an Enqueue.
 type Outcome int
 
@@ -286,6 +329,7 @@ func (f *FIFO) Drain() int {
 // for the ablation.
 type Interface interface {
 	Enqueue(score float64, payload any) Outcome
+	Admit(score float64) Outcome
 	Dequeue() (Item, bool)
 	Len() int
 	Stats() Stats

@@ -3,6 +3,7 @@ package zone
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"akamaidns/internal/dnswire"
 )
@@ -12,6 +13,11 @@ import (
 type Store struct {
 	mu    sync.RWMutex
 	zones map[dnswire.Name]*Zone
+	// gen advances on every visible data change: zone install/remove and
+	// in-place mutation of an installed zone (record add/remove, serial
+	// bump). Caches keyed on store contents compare generations instead of
+	// subscribing to individual zones.
+	gen atomic.Uint64
 }
 
 // NewStore returns an empty zone store.
@@ -19,22 +25,36 @@ func NewStore() *Store {
 	return &Store{zones: make(map[dnswire.Name]*Zone)}
 }
 
-// Put installs (or replaces) a zone.
+// Gen returns the store's change generation (see Store.gen). A cached
+// artifact derived from the store is valid only while Gen is unchanged.
+func (s *Store) Gen() uint64 { return s.gen.Load() }
+
+func (s *Store) bump() { s.gen.Add(1) }
+
+// Put installs (or replaces) a zone and subscribes to its in-place
+// mutations, so serial bumps on a live zone invalidate store-derived caches.
 func (s *Store) Put(z *Zone) {
+	z.setChangeHook(s.bump)
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.zones[z.Origin()] = z
+	s.mu.Unlock()
+	s.bump()
 }
 
 // Delete removes the zone with the given origin, reporting whether it
 // existed.
 func (s *Store) Delete(origin dnswire.Name) bool {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.zones[origin]; !ok {
+	z, ok := s.zones[origin]
+	if ok {
+		delete(s.zones, origin)
+	}
+	s.mu.Unlock()
+	if !ok {
 		return false
 	}
-	delete(s.zones, origin)
+	z.setChangeHook(nil)
+	s.bump()
 	return true
 }
 

@@ -29,6 +29,9 @@ type Zone struct {
 	// ancestors, so NXDOMAIN vs NODATA is decided correctly.
 	names  map[dnswire.Name]bool
 	serial uint32
+	// hook, when set (by the Store the zone is installed in), is invoked
+	// after every in-place mutation so store-derived caches can invalidate.
+	hook func()
 }
 
 // New creates an empty zone rooted at origin.
@@ -42,6 +45,20 @@ func New(origin dnswire.Name) *Zone {
 
 // Origin returns the zone apex.
 func (z *Zone) Origin() dnswire.Name { return z.origin }
+
+// setChangeHook installs (or clears, with nil) the mutation callback.
+func (z *Zone) setChangeHook(fn func()) {
+	z.mu.Lock()
+	z.hook = fn
+	z.mu.Unlock()
+}
+
+// notifyLocked fires the change hook; callers hold z.mu.
+func (z *Zone) notifyLocked() {
+	if z.hook != nil {
+		z.hook()
+	}
+}
 
 // Serial returns the zone's SOA serial (0 when no SOA is present).
 func (z *Zone) Serial() uint32 {
@@ -83,6 +100,7 @@ func (z *Zone) Add(rr dnswire.RR) error {
 			break
 		}
 	}
+	z.notifyLocked()
 	return nil
 }
 
@@ -97,6 +115,7 @@ func (z *Zone) Remove(name dnswire.Name, typ dnswire.Type) bool {
 	}
 	delete(z.sets, k)
 	z.rebuildNamesLocked()
+	z.notifyLocked()
 	return true
 }
 
@@ -123,6 +142,7 @@ func (z *Zone) SetSerial(serial uint32) {
 			z.serial = serial
 		}
 	}
+	z.notifyLocked()
 }
 
 // SOA returns the zone's SOA record, or nil.

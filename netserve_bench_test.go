@@ -1,6 +1,7 @@
 package akamaidns
 
 import (
+	"net"
 	"testing"
 	"time"
 
@@ -10,15 +11,23 @@ import (
 	"akamaidns/internal/zone"
 )
 
-// benchNetServe drives the real UDP server over loopback.
-func benchNetServe(b *testing.B) {
+func benchNetServeServer(b *testing.B) *netserve.Server {
+	b.Helper()
 	store := zone.NewStore()
 	store.Put(zone.MustParseMaster(benchZone, dnswire.MustName("bench.test")))
 	srv := netserve.New(netserve.DefaultConfig(), nameserver.NewEngine(store), nil)
 	if err := srv.Start(); err != nil {
 		b.Skipf("no loopback sockets: %v", err)
 	}
-	defer srv.Close()
+	b.Cleanup(srv.Close)
+	return srv
+}
+
+// benchNetServe drives the real UDP server over loopback with one
+// synchronous client (the historical baseline shape: each op is a full
+// round trip on a fresh socket).
+func benchNetServe(b *testing.B) {
+	srv := benchNetServeServer(b)
 	addr := srv.UDPAddrActual()
 	q := dnswire.NewQuery(1, dnswire.MustName("www.bench.test"), dnswire.TypeA)
 	b.ResetTimer()
@@ -28,4 +37,55 @@ func benchNetServe(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchNetServeParallel fans out persistent-socket clients with RunParallel:
+// each worker holds one UDP socket and a pre-packed query, patching only the
+// message ID per op. This is the throughput benchmark the perf work is
+// measured by (BENCH_netserve.json).
+func benchNetServeParallel(b *testing.B) {
+	srv := benchNetServeServer(b)
+	addr := srv.UDPAddrActual()
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		conn, err := net.Dial("udp", addr)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		defer conn.Close()
+		q := dnswire.NewQuery(1, dnswire.MustName("www.bench.test"), dnswire.TypeA)
+		wire, err := q.Pack()
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		buf := make([]byte, 2048)
+		id := uint16(0)
+		for pb.Next() {
+			id++
+			wire[0], wire[1] = byte(id>>8), byte(id)
+			if _, err := conn.Write(wire); err != nil {
+				b.Error(err)
+				return
+			}
+			conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+			n, err := conn.Read(buf)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if n < 12 || buf[0] != wire[0] || buf[1] != wire[1] {
+				b.Error("bad response")
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkNetServeUDPParallel is the headline socket-throughput number:
+// many concurrent resolvers over loopback against the parallel UDP workers.
+func BenchmarkNetServeUDPParallel(b *testing.B) {
+	benchNetServeParallel(b)
 }
