@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race vet bench bench-smoke bench-json experiments fuzz examples clean
+.PHONY: all build test race vet bench bench-smoke bench-json experiments fuzz chaos chaos-soak examples clean
 
 all: build test
 
@@ -18,6 +18,7 @@ test:
 race:
 	go test -race ./...
 	go test -race -run='TestConcurrentMixedLoad|TestConcurrentUDPClients|TestHotCache' -count=2 ./internal/netserve/
+	go test -race -run='TestCoordinatorRaceStress|TestCoordinatorQuorumUnionOverGrant' -count=2 ./internal/monitor/
 
 vet:
 	go vet ./...
@@ -39,8 +40,21 @@ experiments:
 	go run ./cmd/experiments -fig all
 
 fuzz:
-	go test -fuzz=FuzzUnpack -fuzztime=30s ./internal/dnswire/
+	go test -fuzz=FuzzUnpack\$$ -fuzztime=30s ./internal/dnswire/
+	go test -fuzz=FuzzUnpackInto -fuzztime=30s ./internal/dnswire/
+	go test -fuzz=FuzzAppendPack -fuzztime=30s ./internal/dnswire/
 	go test -fuzz=FuzzParseMaster -fuzztime=30s ./internal/zone/
+
+# Deterministic fault-injection harness: every scenario once at the default
+# seed, plus the determinism and regression suites. Replay a failure with
+# the printed reproducer (scenario + seed + event index).
+chaos:
+	go test ./internal/chaos -run 'TestScenarios|TestDeterminism|TestRegressionSeeds' -v
+
+# Longer soak across a seed range; override SEEDS=lo:hi as needed.
+SEEDS ?= 1:25
+chaos-soak:
+	go run ./cmd/chaos -scenarios all -seeds $(SEEDS) -quiet
 
 examples:
 	go run ./examples/quickstart

@@ -1,0 +1,44 @@
+package chaos
+
+import "testing"
+
+// Regression seeds: chaos runs that once violated an invariant. Each entry
+// pins the exact (scenario, seed) reproducer that exposed a real bug, so
+// the bug's fix stays load-bearing forever. Add new entries by copying the
+// reproducer out of a failing run's violation report.
+var regressions = []struct {
+	name     string
+	scenario string
+	seed     int64
+	invariant string
+}{
+	{
+		// Seed 4's mixed run overlapped a zone-stall with a suspension
+		// storm: the storm's heal lifted the suspension of a machine whose
+		// metadata had gone stale while it was withdrawn, and it served
+		// 34.5s-old zone state for one sweep interval. Exposed two gaps:
+		// Agent.OnCrash's restart path did not re-validate staleness before
+		// unsuspending (and did not reset the health streaks, letting the
+		// pre-crash OK run short-circuit RestartDelay), and suspension
+		// lifts generally must re-run CheckStaleness.
+		name:      "stale-revival-after-storm",
+		scenario:  "mixed",
+		seed:      4,
+		invariant: "stale-suspend",
+	},
+}
+
+func TestRegressionSeeds(t *testing.T) {
+	for _, r := range regressions {
+		r := r
+		t.Run(r.name, func(t *testing.T) {
+			res := runScenario(t, r.scenario, r.seed)
+			for _, v := range res.Violations {
+				t.Errorf("regressed (%s): %s", r.invariant, v)
+			}
+			if t.Failed() {
+				t.Errorf("reproduce with: %s", res.Reproducer)
+			}
+		})
+	}
+}

@@ -1,0 +1,81 @@
+package chaos
+
+import "sort"
+
+// scenarios maps a name to the fault schedule it installs. Each function
+// runs once, after the platform has converged and the workload has started;
+// it draws times and targets from the harness rng and schedules inject/heal
+// events inside the fault window.
+var scenarios = map[string]func(*Harness){
+	// link-flaps: repeated short transit-core link failures; BGP reroutes
+	// around each, and anycast catchments shift without losing coverage.
+	"link-flaps": func(h *Harness) {
+		for i := 0; i < 8; i++ {
+			h.injectLinkFlap()
+		}
+	},
+	// partition: one region's core is cut off from the world, then heals.
+	// Envelope checks are excused while it holds; after the heal, failover
+	// must complete within the envelope.
+	"partition": func(h *Harness) {
+		h.injectPartition()
+	},
+	// pop-withdraw: whole-PoP route withdrawal (TE action); queries shift
+	// to the clouds' other PoPs or to other delegation-set clouds.
+	"pop-withdraw": func(h *Harness) {
+		h.injectPoPWithdraw()
+		h.injectPoPWithdraw()
+	},
+	// pop-loss: a PoP silently loses every uplink; routes expire out of
+	// the rest of the world instead of being withdrawn cleanly.
+	"pop-loss": func(h *Harness) {
+		h.injectPoPLoss()
+	},
+	// qod: query-of-death bursts crash machines; agents suspend, restart,
+	// and the firewall contains the signature.
+	"qod": func(h *Harness) {
+		h.injectQoD()
+	},
+	// suspension-storm: a buggy-agent wave asks to suspend most of the
+	// fleet while coordinator replicas flap; the consensus cap must hold.
+	"suspension-storm": func(h *Harness) {
+		h.injectSuspensionStorm()
+	},
+	// attack-flood: random-subdomain flood through known resolvers; the
+	// scoring pipeline must keep legitimate failover traffic flowing.
+	"attack-flood": func(h *Harness) {
+		h.injectFlood()
+	},
+	// zone-stall: metadata subscriptions freeze past the staleness window;
+	// affected machines must self-suspend rather than serve stale zones.
+	"zone-stall": func(h *Harness) {
+		h.injectZoneStall()
+	},
+	// mixed: a randomized composition of all fault families — the soak
+	// scenario.
+	"mixed": func(h *Harness) {
+		palette := []func(){
+			h.injectLinkFlap,
+			h.injectPoPWithdraw,
+			h.injectPoPLoss,
+			h.injectQoD,
+			h.injectZoneStall,
+			h.injectSuspensionStorm,
+			h.injectFlood,
+		}
+		n := 6 + h.rng.Intn(5)
+		for i := 0; i < n; i++ {
+			palette[h.rng.Intn(len(palette))]()
+		}
+	},
+}
+
+// Scenarios lists the registered scenario names in sorted order.
+func Scenarios() []string {
+	out := make([]string, 0, len(scenarios))
+	for name := range scenarios {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

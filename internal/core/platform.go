@@ -136,7 +136,14 @@ type Platform struct {
 	lowStore  *zone.Store
 	unicast   map[netip.Addr]netsim.Prefix
 	clients   []*Client
+	ents      []*Enterprise
 }
+
+// Enterprises lists every onboarded enterprise in onboarding order.
+func (p *Platform) Enterprises() []*Enterprise { return p.ents }
+
+// Clients lists every attached client in attachment order.
+func (p *Platform) Clients() []*Client { return p.clients }
 
 // New assembles a platform.
 func New(opts Options) (*Platform, error) {

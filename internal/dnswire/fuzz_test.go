@@ -53,6 +53,108 @@ func FuzzUnpack(f *testing.F) {
 	})
 }
 
+// FuzzUnpackInto targets the zero-alloc decode path: decoding into a dirty,
+// reused Message (the pooled-per-worker pattern of the UDP hot path) must
+// behave exactly like a fresh Unpack — same acceptance, same structure, no
+// panics, and no state leaking from the previous occupant.
+func FuzzUnpackInto(f *testing.F) {
+	m := sampleMessage()
+	wire, _ := m.Pack()
+	f.Add(wire)
+	q, _ := NewQuery(7, MustName("seed.example.com"), TypeAAAA).Pack()
+	f.Add(q)
+	eq := NewQuery(9, MustName("e.example.com"), TypeA)
+	opt := NewOPT(4096)
+	opt.SetCookie(Cookie{Client: [8]byte{1, 2, 3, 4, 5, 6, 7, 8}})
+	eq.Additional = append(eq.Additional, opt)
+	ew, _ := eq.Pack()
+	f.Add(ew)
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0xC0, 0x0C})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// The reusable message starts dirty: pre-populate every section so
+		// incomplete resets would show up as leaked records.
+		reused := sampleMessage()
+		errInto := UnpackInto(reused, data)
+		fresh, errFresh := Unpack(data)
+		if (errInto == nil) != (errFresh == nil) {
+			t.Fatalf("UnpackInto err=%v but Unpack err=%v", errInto, errFresh)
+		}
+		if errInto != nil {
+			return
+		}
+		// Identical decode: both pack to identical bytes (or both refuse).
+		wa, errA := reused.AppendPack(nil)
+		wb, errB := fresh.Pack()
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("repack disagreement: into=%v fresh=%v", errA, errB)
+		}
+		if errA == nil && !bytes.Equal(wa, wb) {
+			t.Fatalf("UnpackInto decoded differently than Unpack:\n%x\n%x", wa, wb)
+		}
+		// unpack -> pack -> unpack is stable.
+		if errA == nil {
+			again := &Message{}
+			if err := UnpackInto(again, wa); err != nil {
+				t.Fatalf("re-unpack of packed message failed: %v", err)
+			}
+			w2, err := again.AppendPack(nil)
+			if err != nil {
+				t.Fatalf("re-pack failed: %v", err)
+			}
+			if !bytes.Equal(wa, w2) {
+				t.Fatalf("pack not a fixpoint:\n%x\n%x", wa, w2)
+			}
+		}
+	})
+}
+
+// FuzzAppendPack targets the append-style encoder: packing into a non-empty
+// caller buffer must produce exactly Pack()'s bytes after the prefix —
+// compression offsets are message-relative, so the prefix must not shift
+// pointer targets.
+func FuzzAppendPack(f *testing.F) {
+	m := sampleMessage()
+	wire, _ := m.Pack()
+	f.Add(wire, []byte("prefix"))
+	q, _ := NewQuery(7, MustName("seed.example.com"), TypeAAAA).Pack()
+	f.Add(q, []byte{})
+	f.Add([]byte{0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0xC0, 0x0C}, []byte{0xFF})
+	f.Fuzz(func(t *testing.T, data, prefix []byte) {
+		msg, err := Unpack(data)
+		if err != nil {
+			return
+		}
+		plain, errPlain := msg.Pack()
+		appended, errApp := msg.AppendPack(append([]byte(nil), prefix...))
+		if (errPlain == nil) != (errApp == nil) {
+			t.Fatalf("Pack err=%v but AppendPack err=%v", errPlain, errApp)
+		}
+		if errPlain != nil {
+			return
+		}
+		if !bytes.Equal(appended[:len(prefix)], prefix) {
+			t.Fatalf("AppendPack clobbered the caller's prefix")
+		}
+		if !bytes.Equal(appended[len(prefix):], plain) {
+			t.Fatalf("AppendPack after %d-byte prefix differs from Pack:\n%x\n%x",
+				len(prefix), appended[len(prefix):], plain)
+		}
+		// And the appended bytes decode back to the same message.
+		rt, err := Unpack(appended[len(prefix):])
+		if err != nil {
+			t.Fatalf("unpack of AppendPack output failed: %v", err)
+		}
+		w2, err := rt.Pack()
+		if err != nil {
+			t.Fatalf("re-pack failed: %v", err)
+		}
+		if !bytes.Equal(w2, plain) {
+			t.Fatalf("round trip through AppendPack unstable:\n%x\n%x", w2, plain)
+		}
+	})
+}
+
 func FuzzParseName(f *testing.F) {
 	for _, s := range []string{"example.com", ".", "a.b.c.d.e.f", "*.wild.test", "-dash.test", "_srv._udp.x"} {
 		f.Add(s)

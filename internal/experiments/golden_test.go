@@ -1,0 +1,41 @@
+package experiments
+
+import "testing"
+
+// Golden determinism: the figure reproductions are seeded simulations, so
+// running the same experiment twice must render byte-identical reports —
+// Measured line and every Series row. Anything less means a figure cannot be
+// cited by (experiment, seed) alone, and the chaos harness's replay story
+// (internal/chaos) breaks at the experiment layer. Fig8 and Fig10 are the
+// two heaviest users of randomized simulation, so they anchor the suite.
+func assertDeterministic(t *testing.T, name string, run func() Report) {
+	t.Helper()
+	a := run()
+	b := run()
+	if a.Measured != b.Measured {
+		t.Errorf("%s: Measured differs between identical runs:\n  first:  %s\n  second: %s",
+			name, a.Measured, b.Measured)
+	}
+	if len(a.Series) != len(b.Series) {
+		t.Fatalf("%s: series length differs between identical runs: %d vs %d",
+			name, len(a.Series), len(b.Series))
+	}
+	for i := range a.Series {
+		if a.Series[i] != b.Series[i] {
+			t.Errorf("%s: series row %d differs between identical runs:\n  first:  %q\n  second: %q",
+				name, i, a.Series[i], b.Series[i])
+		}
+	}
+	if a.Pass != b.Pass {
+		t.Errorf("%s: shape-match verdict flipped between identical runs: %v vs %v",
+			name, a.Pass, b.Pass)
+	}
+}
+
+func TestFig8Deterministic(t *testing.T) {
+	assertDeterministic(t, "fig8", func() Report { return Fig8Failover(true) })
+}
+
+func TestFig10Deterministic(t *testing.T) {
+	assertDeterministic(t, "fig10", func() Report { return Fig10NXDomainFilter(true) })
+}

@@ -29,9 +29,14 @@ type Probe struct {
 }
 
 // Coordinator is the consensus service bounding concurrent suspensions.
-// Suspension permission requires grants from a majority of replicas; each
-// replica grants only while its view of active suspensions is below the
-// global cap.
+// Suspension permission requires a reachable majority of replicas, and the
+// decision is taken against the quorum's combined view of active
+// suspensions: local per-replica counts alone are not enough, because
+// replicas that missed grants while unreachable would happily vote the cap
+// away (each under cap while their union is at it). Every grant is recorded
+// on at least a majority, any two majorities intersect, and recovering
+// replicas resync from the quorum, so the union view always covers every
+// outstanding suspension.
 type Coordinator struct {
 	mu       sync.Mutex
 	replicas []*replica
@@ -46,6 +51,16 @@ type Coordinator struct {
 type replica struct {
 	up     bool
 	active map[string]bool // agent IDs this replica believes are suspended
+}
+
+// Cap reports the global bound on concurrent suspensions.
+func (c *Coordinator) Cap() int { return c.cap }
+
+// NumReplicas reports the replica count.
+func (c *Coordinator) NumReplicas() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.replicas)
 }
 
 // NewCoordinator builds a coordinator with n replicas and the given cap on
@@ -71,14 +86,47 @@ func (c *Coordinator) Protect(agentIDs ...string) {
 }
 
 // SetReplicaUp changes a replica's availability (for failure injection).
+// A replica coming back up resyncs its active set from the quorum — it
+// keeps its own memory and unions in every suspension its reachable peers
+// know about, so grants it missed while down are not voted away later.
 func (c *Coordinator) SetReplicaUp(i int, up bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.replicas[i].up = up
+	r := c.replicas[i]
+	if up && !r.up {
+		for _, o := range c.replicas {
+			if o == r || !o.up {
+				continue
+			}
+			for id := range o.active {
+				r.active[id] = true
+			}
+		}
+	}
+	r.up = up
+}
+
+// quorumView merges the active sets of all reachable replicas. Because
+// every grant was recorded on a majority and majorities intersect, the
+// merged view covers every outstanding suspension whenever a majority is
+// reachable.
+func (c *Coordinator) quorumViewLocked() map[string]bool {
+	view := make(map[string]bool)
+	for _, r := range c.replicas {
+		if !r.up {
+			continue
+		}
+		for id := range r.active {
+			view[id] = true
+		}
+	}
+	return view
 }
 
 // RequestSuspend runs a consensus round asking to suspend agentID. It
-// reports whether a majority granted.
+// reports whether the quorum granted: a majority of ALL replicas must be
+// reachable (a partitioned minority cannot grant suspensions), and the
+// quorum's combined view of active suspensions must be below the cap.
 func (c *Coordinator) RequestSuspend(agentID string) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -86,20 +134,18 @@ func (c *Coordinator) RequestSuspend(agentID string) bool {
 		c.Denials++
 		return false
 	}
-	votes := 0
 	avail := 0
 	for _, r := range c.replicas {
-		if !r.up {
-			continue
-		}
-		avail++
-		if r.active[agentID] || len(r.active) < c.cap {
-			votes++
+		if r.up {
+			avail++
 		}
 	}
-	// Majority of ALL replicas (not just reachable ones): a partitioned
-	// minority cannot grant suspensions.
-	if votes*2 <= len(c.replicas) {
+	if avail*2 <= len(c.replicas) {
+		c.Denials++
+		return false
+	}
+	view := c.quorumViewLocked()
+	if !view[agentID] && len(view) >= c.cap {
 		c.Denials++
 		return false
 	}
@@ -112,29 +158,25 @@ func (c *Coordinator) RequestSuspend(agentID string) bool {
 	return true
 }
 
-// Release frees agentID's suspension slot.
+// Release frees agentID's suspension slot on every replica, reachable or
+// not — the release is durable, like a write to the consensus log that
+// down replicas replay on recovery. (Leaving stale entries on down
+// replicas would only make the coordinator more conservative, but it would
+// leak slots forever if the holder released during a replica outage.)
 func (c *Coordinator) Release(agentID string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, r := range c.replicas {
-		if r.up {
-			delete(r.active, agentID)
-		}
+		delete(r.active, agentID)
 	}
 }
 
-// ActiveSuspensions reports the maximum per-replica count (replicas can
-// diverge after failures; the max is the conservative view).
+// ActiveSuspensions reports the size of the quorum's combined view —
+// the conservative count the grant decision itself uses.
 func (c *Coordinator) ActiveSuspensions() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	max := 0
-	for _, r := range c.replicas {
-		if r.up && len(r.active) > max {
-			max = len(r.active)
-		}
-	}
-	return max
+	return len(c.quorumViewLocked())
 }
 
 // AgentConfig tunes one monitoring agent.
@@ -259,6 +301,11 @@ func (a *Agent) sweep(now simtime.Time) {
 func (a *Agent) OnCrash(now simtime.Time, sig string) {
 	a.mu.Lock()
 	a.LastFailure = "crash: " + sig
+	// Reset the health streaks: the OK run that preceded the crash says
+	// nothing about the restarting process, and leaving it in place would
+	// let the very next sweep lift the suspension long before RestartDelay.
+	a.consecOK = 0
+	a.consecFail = 0
 	already := a.suspendedBy
 	if !already {
 		// Crashes bypass the consensus gate: a dead process cannot answer
@@ -281,7 +328,13 @@ func (a *Agent) OnCrash(now simtime.Time, sig string) {
 		a.consecOK = 0
 		a.mu.Unlock()
 		if wasSuspended {
-			a.target.SetSuspended(t, false)
+			// The restarted process re-validates its inputs before it may
+			// advertise: if its metadata went stale while it was down, the
+			// staleness suspension takes over instead of the machine
+			// returning to service with old zones.
+			if !a.target.CheckStaleness(t) {
+				a.target.SetSuspended(t, false)
+			}
 			if a.coord != nil {
 				a.coord.Release(a.Cfg.ID)
 			}

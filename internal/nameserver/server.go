@@ -243,6 +243,25 @@ func (s *Server) InputAge(topic pubsub.Topic, now simtime.Time) (time.Duration, 
 	return now.Sub(t), true
 }
 
+// Stale reports whether any tracked critical input is older than the
+// staleness threshold, without the self-suspension side effects of
+// CheckStaleness. Invariant checkers use it to distinguish "should have
+// suspended by now" from "did suspend". Always false for machines whose
+// config disables the staleness check (input-delayed nameservers).
+func (s *Server) Stale(now simtime.Time) bool {
+	if s.Cfg.NoStalenessSuspend || s.Cfg.StaleAfter == 0 {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, t := range s.lastInput {
+		if now.Sub(t) > s.Cfg.StaleAfter {
+			return true
+		}
+	}
+	return false
+}
+
 // CheckStaleness implements §4.2.2: if any tracked critical input is older
 // than the threshold the machine self-suspends. Input-delayed nameservers
 // never do. It reports whether the server is (now) suspended by staleness.

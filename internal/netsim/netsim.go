@@ -206,6 +206,24 @@ func (n *Network) Node(id NodeID) *Node { return n.nodes[id] }
 // NumNodes reports the node count.
 func (n *Network) NumNodes() int { return len(n.nodes) }
 
+// Links enumerates every link exactly once, ordered by (A, B) node IDs so
+// fault injectors iterating over them stay deterministic.
+func (n *Network) Links() []*Link {
+	var out []*Link
+	for id := NodeID(0); id < n.next; id++ {
+		nd := n.nodes[id]
+		if nd == nil {
+			continue
+		}
+		for _, nb := range nd.Neighbors() {
+			if nb > id {
+				out = append(out, nd.neighbors[nb])
+			}
+		}
+	}
+	return out
+}
+
 // Connect links two nodes with delay derived from their geo distance.
 func (n *Network) Connect(a, b *Node) *Link {
 	return n.ConnectDelay(a, b, PropDelay(a.Loc, b.Loc))

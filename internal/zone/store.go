@@ -92,6 +92,19 @@ func (s *Store) Origins() []dnswire.Name {
 	return out
 }
 
+// Serials snapshots every zone's SOA serial, keyed by origin. Callers that
+// audit propagation (the chaos harness's zone-stall invariants, soak
+// summaries) compare snapshots instead of holding zone references.
+func (s *Store) Serials() map[dnswire.Name]uint32 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[dnswire.Name]uint32, len(s.zones))
+	for o, z := range s.zones {
+		out[o] = z.Serial()
+	}
+	return out
+}
+
 // Len reports the number of zones.
 func (s *Store) Len() int {
 	s.mu.RLock()
