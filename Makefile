@@ -18,6 +18,7 @@ test:
 race:
 	go test -race ./...
 	go test -race -run='TestConcurrentMixedLoad|TestConcurrentUDPClients|TestHotCache' -count=2 ./internal/netserve/
+	go test -race -run='TestContainmentPanicStorm|TestQueryOfDeathDrill' -count=2 ./internal/netserve/
 	go test -race -run='TestCoordinatorRaceStress|TestCoordinatorQuorumUnionOverGrant' -count=2 ./internal/monitor/
 
 vet:
@@ -31,9 +32,12 @@ bench:
 bench-smoke:
 	go test -run='^$$' -bench=BenchmarkNetServe -benchtime=1x .
 
-# Measured UDP serving numbers, committed as BENCH_netserve.json.
+# Measured UDP serving numbers, committed as BENCH_netserve.json. Written
+# via a temp file: a direct redirect would truncate the old file before
+# benchjson reads its baseline block out of it.
 bench-json:
-	go test -run='^$$' -bench='BenchmarkNetServeUDP|BenchmarkHandleUDP' -benchmem -benchtime=2s . ./internal/netserve/ | go run ./cmd/benchjson > BENCH_netserve.json
+	go test -run='^$$' -bench='BenchmarkNetServeUDP|BenchmarkHandleUDP' -benchmem -benchtime=2s . ./internal/netserve/ | go run ./cmd/benchjson > BENCH_netserve.json.tmp
+	mv BENCH_netserve.json.tmp BENCH_netserve.json
 	@cat BENCH_netserve.json
 
 experiments:
@@ -44,12 +48,14 @@ fuzz:
 	go test -fuzz=FuzzUnpackInto -fuzztime=30s ./internal/dnswire/
 	go test -fuzz=FuzzAppendPack -fuzztime=30s ./internal/dnswire/
 	go test -fuzz=FuzzParseMaster -fuzztime=30s ./internal/zone/
+	go test -fuzz=FuzzTCPFrameReader -fuzztime=30s ./internal/netserve/
 
 # Deterministic fault-injection harness: every scenario once at the default
-# seed, plus the determinism and regression suites. Replay a failure with
-# the printed reproducer (scenario + seed + event index).
+# seed, plus the determinism and regression suites and the live-socket
+# query-of-death drill. Replay a failure with the printed reproducer
+# (scenario + seed + event index).
 chaos:
-	go test ./internal/chaos -run 'TestScenarios|TestDeterminism|TestRegressionSeeds' -v
+	go test ./internal/chaos -run 'TestScenarios|TestDeterminism|TestRegressionSeeds|TestLiveServerDrill' -v
 
 # Longer soak across a seed range; override SEEDS=lo:hi as needed.
 SEEDS ?= 1:25

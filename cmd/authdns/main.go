@@ -21,6 +21,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"akamaidns/internal/dnswire"
 	"akamaidns/internal/filters"
@@ -48,6 +49,10 @@ func main() {
 	cookies := flag.Bool("cookies", false, "enable DNS Cookies (RFC 7873)")
 	requireCookies := flag.Bool("require-cookies", false, "refuse UDP queries without a valid server cookie")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus-text /metrics and /healthz on this address ('' disables)")
+	qodQuarantine := flag.Int("qod-quarantine", 0, "query-of-death quarantine size (0 = default 128, negative disables containment)")
+	maxInflight := flag.Int("max-inflight", 0, "overload ladder in-flight handler ceiling (0 disables shedding)")
+	watchdog := flag.Bool("watchdog", true, "self-suspend on panic/malformed/latency storms (flips /healthz to 503)")
+	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "grace period for in-flight queries on SIGTERM before sockets are force-closed")
 	flag.Parse()
 
 	if len(zones) == 0 && len(secondaries) == 0 {
@@ -93,6 +98,11 @@ func main() {
 	cfg.Cookies = *cookies || *requireCookies
 	cfg.RequireCookies = *requireCookies
 	cfg.CookieSecret = uint64(os.Getpid())*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03
+	cfg.QoDQuarantine = *qodQuarantine
+	cfg.MaxInflight = *maxInflight
+	if !*watchdog {
+		cfg.Watchdog = nil
+	}
 	srv := netserve.New(cfg, eng, pipe)
 	// IXFR history: record the loaded version of every zone so secondaries
 	// presenting our serial get the cheap "up to date" answer.
@@ -127,7 +137,10 @@ func main() {
 		fmt.Printf("authdns: tcp %s\n", a)
 	}
 	if *metricsAddr != "" {
-		ms, err := obs.Serve(*metricsAddr, srv.Reg, func() bool { return true })
+		// /healthz reflects the live server state: 503 while the watchdog
+		// holds a self-suspension or once a drain has begun, so whatever
+		// steers traffic at this machine stops before the sockets do.
+		ms, err := obs.Serve(*metricsAddr, srv.Reg, srv.Healthy)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "authdns:", err)
 			srv.Close()
@@ -137,11 +150,18 @@ func main() {
 		fmt.Printf("authdns: metrics http://%s/metrics\n", ms.Addr())
 	}
 
+	// Graceful shutdown on SIGTERM/SIGINT: health flips to 503 immediately,
+	// accepting stops, and in-flight queries get the drain grace period
+	// before remaining connections are force-closed.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	srv.Close()
-	fmt.Printf("authdns: served %d udp / %d tcp queries (%d truncated, %d transfers, %d discarded)\n",
+	fmt.Printf("authdns: draining (grace %s)\n", *drainTimeout)
+	if !srv.Drain(*drainTimeout) {
+		fmt.Println("authdns: drain deadline hit; lingering connections force-closed")
+	}
+	fmt.Printf("authdns: served %d udp / %d tcp queries (%d truncated, %d transfers, %d discarded, %d panics contained)\n",
 		srv.Metrics.UDPQueries.Load(), srv.Metrics.TCPQueries.Load(),
-		srv.Metrics.Truncated.Load(), srv.Metrics.Transfers.Load(), srv.Metrics.Discarded.Load())
+		srv.Metrics.Truncated.Load(), srv.Metrics.Transfers.Load(), srv.Metrics.Discarded.Load(),
+		srv.Metrics.Panics.Load())
 }

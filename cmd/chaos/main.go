@@ -3,6 +3,11 @@
 //
 //	go run ./cmd/chaos -scenarios all -seeds 1:50
 //	go run ./cmd/chaos -scenarios mixed -seed 1337 -log
+//	go run ./cmd/chaos -live
+//
+// -live skips the simulation and runs the query-of-death drill against the
+// real socket server (containment, self-suspension, recovery) on the wall
+// clock.
 //
 // Any invariant violation prints its reproducer (a go test invocation
 // pinning scenario + seed) and the process exits nonzero, so the soak is
@@ -28,8 +33,30 @@ func main() {
 		window    = flag.Duration("window", 0, "fault window override (default 2m)")
 		dump      = flag.Bool("log", false, "print the full event log of every run")
 		quiet     = flag.Bool("quiet", false, "only print failures and the final tally")
+		live      = flag.Bool("live", false, "run the query-of-death drill against the real socket server instead of the simulation")
 	)
 	flag.Parse()
+
+	if *live {
+		res, err := chaos.RunLive(chaos.LiveConfig{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+			os.Exit(2)
+		}
+		if *dump || len(res.Violations) > 0 {
+			os.Stdout.Write(res.Log)
+		}
+		if len(res.Violations) > 0 {
+			fmt.Printf("FAIL live drill: %d violations\n", len(res.Violations))
+			for _, v := range res.Violations {
+				fmt.Printf("     %s\n", v)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("ok   live drill: panics=%d refused=%d quarantined=%d trips=%d\n",
+			res.Panics, res.Refused, res.Quarantined, res.WatchdogTrips)
+		return
+	}
 
 	names := chaos.Scenarios()
 	if *scenarios != "all" {

@@ -1,0 +1,207 @@
+package chaos
+
+// The live scenario runs the query-of-death drill against the real socket
+// server (internal/netserve) instead of the simulated platform: real UDP
+// packets, real handler panics contained by the recover boundary, a real
+// watchdog flipping health. Unlike the simulated scenarios it runs on the
+// wall clock, so its event log is human-readable but not byte-deterministic;
+// the invariants it checks are exact regardless:
+//
+//   - containment: one poison signature costs at most one crash per UDP
+//     worker before the quarantine refuses it, and unrelated queries are
+//     answered throughout;
+//   - suspension: a storm of distinct poison signatures trips the watchdog
+//     and the server reports unhealthy (the /healthz 503 that would pull the
+//     anycast route, §4.2.1);
+//   - recovery: after the quiet period the server resumes answering on its
+//     own.
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"akamaidns/internal/dnswire"
+	"akamaidns/internal/nameserver"
+	"akamaidns/internal/netserve"
+	"akamaidns/internal/qod"
+	"akamaidns/internal/zone"
+)
+
+// LiveConfig parameterizes the live-server drill.
+type LiveConfig struct {
+	// UDPWorkers sets the server's parallel UDP read loops (default 2); the
+	// containment invariant caps crashes per poison signature at this count.
+	UDPWorkers int
+	// StormSize is how many distinct poison signatures the suspension phase
+	// may fire before declaring the watchdog broken (default 40).
+	StormSize int
+	// ProbeTimeout bounds each client exchange (default 300ms).
+	ProbeTimeout time.Duration
+	// RecoveryDeadline bounds how long the drill waits for the suspension to
+	// lift (default 5s; must exceed the watchdog quiet period).
+	RecoveryDeadline time.Duration
+}
+
+func (c LiveConfig) withDefaults() LiveConfig {
+	if c.UDPWorkers <= 0 {
+		c.UDPWorkers = 2
+	}
+	if c.StormSize <= 0 {
+		c.StormSize = 40
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 300 * time.Millisecond
+	}
+	if c.RecoveryDeadline <= 0 {
+		c.RecoveryDeadline = 5 * time.Second
+	}
+	return c
+}
+
+// LiveResult summarizes one live drill.
+type LiveResult struct {
+	Panics        uint64 // handler panics contained by the recover boundary
+	Refused       uint64 // queries refused pre-decode by the quarantine
+	Quarantined   uint64 // distinct signatures admitted to the quarantine
+	WatchdogTrips uint64 // panic-tripwire firings
+	Violations    []string
+	// Log is the wall-clock event narration (not deterministic across runs).
+	Log []byte
+}
+
+const liveZone = `
+$TTL 300
+@    IN SOA ns1 host ( 1 3600 600 604800 30 )
+@    IN NS ns1
+ns1  IN A 198.51.100.1
+www  IN A 192.0.2.1
+`
+
+// liveDrill carries one run's state.
+type liveDrill struct {
+	cfg   LiveConfig
+	srv   *netserve.Server
+	start time.Time
+	log   bytes.Buffer
+	viols []string
+}
+
+func (d *liveDrill) logf(kind, format string, args ...any) {
+	fmt.Fprintf(&d.log, "[%8s] %-12s %s\n",
+		time.Since(d.start).Round(time.Millisecond), kind, fmt.Sprintf(format, args...))
+}
+
+func (d *liveDrill) violate(invariant, format string, args ...any) {
+	msg := invariant + ": " + fmt.Sprintf(format, args...)
+	d.logf("VIOLATION", "%s", msg)
+	d.viols = append(d.viols, msg)
+}
+
+func (d *liveDrill) probe(id uint16, name string, qtype dnswire.Type) (*dnswire.Message, error) {
+	q := dnswire.NewQuery(id, dnswire.MustName(name), qtype)
+	return netserve.Exchange(d.srv.UDPAddrActual(), q, false, d.cfg.ProbeTimeout)
+}
+
+// checkServing asserts an unrelated query is answered right now.
+func (d *liveDrill) checkServing(id uint16, phase string) {
+	resp, err := d.probe(id, "www.live.test", dnswire.TypeA)
+	if err != nil {
+		d.violate("live-serving", "%s: unrelated query failed: %v", phase, err)
+		return
+	}
+	if resp.RCode != dnswire.RCodeNoError || len(resp.Answers) != 1 {
+		d.violate("live-serving", "%s: unrelated query degraded: rcode=%v answers=%d",
+			phase, resp.RCode, len(resp.Answers))
+	}
+}
+
+// RunLive executes the live-server drill and reports the result. The error
+// return covers setup problems; invariant breaches are data, in Violations.
+func RunLive(cfg LiveConfig) (*LiveResult, error) {
+	cfg = cfg.withDefaults()
+	store := zone.NewStore()
+	store.Put(zone.MustParseMaster(liveZone, dnswire.MustName("live.test")))
+	scfg := netserve.DefaultConfig()
+	scfg.UDPWorkers = cfg.UDPWorkers
+	scfg.QuarantineTTL = time.Minute // no probation lapses mid-drill
+	scfg.Watchdog = &qod.WatchdogConfig{
+		Window:    10 * time.Second,
+		MaxPanics: 3,
+		Quiet:     800 * time.Millisecond,
+	}
+	srv := netserve.New(scfg, nameserver.NewEngine(store), nil)
+	if err := srv.Start(); err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	d := &liveDrill{cfg: cfg, srv: srv, start: time.Now()}
+	d.logf("run", "live drill: udp=%s workers=%d", srv.UDPAddrActual(), cfg.UDPWorkers)
+	d.checkServing(1, "baseline")
+
+	// Phase 1 — containment: one poison signature, repeated.
+	poison := dnswire.QoDMarkerLabel + ".live.test"
+	if _, err := d.probe(2, poison, dnswire.TypeA); err == nil {
+		d.violate("qod-containment", "first poison query was answered")
+	}
+	d.logf("inject", "poison %s crashed its handler (contained)", poison)
+	resp, err := d.probe(3, poison, dnswire.TypeA)
+	switch {
+	case err != nil:
+		d.violate("qod-containment", "quarantined poison not refused: %v", err)
+	case resp.RCode != dnswire.RCodeRefused:
+		d.violate("qod-containment", "quarantined poison rcode = %v, want REFUSED", resp.RCode)
+	default:
+		d.logf("quarantine", "%s refused pre-decode", poison)
+	}
+	if got := srv.Metrics.Panics.Load(); got > uint64(cfg.UDPWorkers) {
+		d.violate("qod-containment", "%d crashes for one signature, cap %d (one per worker)",
+			got, cfg.UDPWorkers)
+	}
+	d.checkServing(4, "during containment")
+
+	// Phase 2 — suspension: distinct poison signatures until the watchdog
+	// trips and the server self-withdraws.
+	fired := 0
+	for i := 0; i < cfg.StormSize && srv.Healthy(); i++ {
+		d.probe(uint16(100+i), fmt.Sprintf("%s.s%d.live.test", dnswire.QoDMarkerLabel, i), dnswire.TypeA)
+		fired++
+	}
+	if srv.Healthy() {
+		d.violate("live-suspension", "watchdog never tripped after %d distinct poison signatures", fired)
+	} else {
+		d.logf("suspend", "watchdog tripped after %d distinct signatures; health=503", fired)
+		// While suspended, UDP traffic is read and discarded: an answered
+		// probe while still unhealthy would mean the withdrawal is a lie.
+		if resp, err := d.probe(200, "www.live.test", dnswire.TypeA); err == nil && !srv.Healthy() {
+			d.violate("live-suspension", "query answered while suspended: rcode=%v", resp.RCode)
+		}
+	}
+
+	// Phase 3 — recovery: the quiet period lapses and service resumes.
+	deadline := time.Now().Add(cfg.RecoveryDeadline)
+	for !srv.Healthy() {
+		if time.Now().After(deadline) {
+			d.violate("live-recovery", "still suspended after %s", cfg.RecoveryDeadline)
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if srv.Healthy() {
+		d.logf("recover", "suspension lapsed; health=200")
+		d.checkServing(201, "after recovery")
+	}
+
+	d.logf("summary", "panics=%d refused=%d quarantined=%d trips=%d violations=%d",
+		srv.Metrics.Panics.Load(), srv.Metrics.QoDRefused.Load(),
+		srv.Quarantine().Admitted(), srv.Watchdog().Trips(qod.TripPanic), len(d.viols))
+	return &LiveResult{
+		Panics:        srv.Metrics.Panics.Load(),
+		Refused:       srv.Metrics.QoDRefused.Load(),
+		Quarantined:   srv.Quarantine().Admitted(),
+		WatchdogTrips: srv.Watchdog().Trips(qod.TripPanic),
+		Violations:    d.viols,
+		Log:           append([]byte(nil), d.log.Bytes()...),
+	}, nil
+}

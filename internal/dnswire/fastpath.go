@@ -38,6 +38,12 @@ func (v QueryView) RecursionDesired() bool { return v.Flags&(1<<8) != 0 }
 // qnameStart is the fixed offset of the (first) question name.
 const qnameStart = 12
 
+// QnameWire returns the question-name bytes (wire form, terminal root label
+// included) of the packet the view was parsed from. The slice aliases wire.
+func (v QueryView) QnameWire(wire []byte) []byte {
+	return wire[qnameStart : qnameStart+v.QnameLen]
+}
+
 // ParseQueryView summarizes a wire-format query without allocating. It
 // reports ok only for the canonical query shape: exactly one question with
 // an uncompressed name, no answer/authority records, and at most one

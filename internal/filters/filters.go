@@ -97,6 +97,24 @@ func (p *Pipeline) Append(f Filter) {
 	}
 }
 
+// Allowlisted reports whether the resolver is on any Allowlist filter's
+// historically-known set, regardless of enforcement state (the list itself
+// is maintained continuously; only the penalty is gated on activation). The
+// socket server's overload degradation ladder consults it to reserve the
+// expensive slow path for known resolvers when the machine nears its
+// in-flight ceiling (§5.2: shed by reputation, not at random).
+func (p *Pipeline) Allowlisted(resolver string) bool {
+	p.mu.RLock()
+	fs := p.filters
+	p.mu.RUnlock()
+	for _, f := range fs {
+		if a, ok := f.(*Allowlist); ok && a.Contains(resolver) {
+			return true
+		}
+	}
+	return false
+}
+
 // Score runs every filter and returns the total penalty plus the per-filter
 // breakdown (keyed by filter name; zero contributions omitted).
 func (p *Pipeline) Score(q *Query) (float64, map[string]float64) {

@@ -29,6 +29,7 @@ import (
 	"akamaidns/internal/filters"
 	"akamaidns/internal/nameserver"
 	"akamaidns/internal/obs"
+	"akamaidns/internal/qod"
 	"akamaidns/internal/queue"
 	"akamaidns/internal/simtime"
 	"akamaidns/internal/zone"
@@ -66,7 +67,37 @@ type Config struct {
 	RequireCookies bool
 	// CookieSecret keys server-cookie generation.
 	CookieSecret uint64
+
+	// QoDQuarantine bounds the query-of-death quarantine's signature set
+	// (0 = default 128; negative disables containment entirely, restoring
+	// the bare §4.2.4 crash emulation: poison goes unanswered and uncaught).
+	QoDQuarantine int
+	// QuarantineTTL is how long a signature stays quarantined before its
+	// probationary re-admission (0 = default 30s).
+	QuarantineTTL time.Duration
+	// Watchdog enables live self-suspension (nil disables): panic rate,
+	// malformed-packet rate, and sampled answer latency per window flip the
+	// server unhealthy and its UDP readers into discard mode until a quiet
+	// period passes (§4.2.1 applied to the sockets).
+	Watchdog *qod.WatchdogConfig
+	// MaxInflight is the overload degradation ladder's in-flight handler
+	// ceiling (0 disables the ladder). Shedding by reputation needs a
+	// Pipeline; without one only the saturated-drop backstop applies.
+	MaxInflight int
+	// MaxTCPConns bounds concurrently-served TCP connections (0 = default
+	// 256; negative = unbounded). Connections beyond the cap are closed on
+	// accept, so a slowloris herd cannot pin every handler goroutine.
+	MaxTCPConns int
+	// MaxTCPQueries bounds queries served per TCP connection before it is
+	// closed (0 = default 1024; negative = unbounded).
+	MaxTCPQueries int
 }
+
+// TCP connection defaults.
+const (
+	DefaultMaxTCPConns   = 256
+	DefaultMaxTCPQueries = 1024
+)
 
 // DefaultConfig listens on localhost ephemeral ports.
 func DefaultConfig() Config {
@@ -76,6 +107,7 @@ func DefaultConfig() Config {
 		Smax:          queue.DefaultConfig().Smax,
 		ReadTimeout:   5 * time.Second,
 		AllowTransfer: true,
+		Watchdog:      &qod.WatchdogConfig{},
 	}
 }
 
@@ -92,6 +124,12 @@ type Metrics struct {
 	Transfers    *obs.Counter
 	WriteErrors  *obs.Counter
 	DecodeErrors *obs.Counter
+	// Panics counts handler panics contained by the recover boundary.
+	Panics *obs.Counter
+	// QoDRefused counts queries refused pre-decode by the quarantine.
+	QoDRefused *obs.Counter
+	// TCPRejected counts connections closed at the TCP connection cap.
+	TCPRejected *obs.Counter
 }
 
 // Server is the socket front-end.
@@ -129,6 +167,21 @@ type Server struct {
 	tcp     net.Listener
 	wg      sync.WaitGroup
 	closed  atomic.Bool
+
+	// Protection layer (protect.go): query-of-death quarantine consulted
+	// pre-decode, crash watchdog, and overload degradation ladder.
+	qodGuard   *qod.Quarantine
+	watchdog   *qod.Watchdog
+	ladder     *qod.Ladder
+	protected  bool
+	minimizing atomic.Bool
+	shed       [qod.LevelSaturated + 1]*obs.Counter
+
+	// Graceful drain and TCP connection bookkeeping.
+	draining atomic.Bool
+	tcpSem   chan struct{}
+	connMu   sync.Mutex
+	conns    map[net.Conn]struct{}
 }
 
 // New builds a server over the engine with a fresh metric registry.
@@ -165,6 +218,24 @@ func NewWithRegistry(cfg Config, eng *nameserver.Engine, pipeline *filters.Pipel
 		s.hot = nameserver.NewHotCache(cfg.HotCacheSize)
 		s.hot.Instrument(reg)
 	}
+	if cfg.QoDQuarantine >= 0 {
+		s.qodGuard = qod.NewQuarantine(cfg.QoDQuarantine, cfg.QuarantineTTL)
+	}
+	if cfg.Watchdog != nil {
+		s.watchdog = qod.NewWatchdog(*cfg.Watchdog)
+	}
+	if cfg.MaxInflight > 0 {
+		s.ladder = qod.NewLadder(cfg.MaxInflight)
+	}
+	s.protected = s.qodGuard != nil || s.watchdog != nil || s.ladder != nil
+	maxConns := cfg.MaxTCPConns
+	if maxConns == 0 {
+		maxConns = DefaultMaxTCPConns
+	}
+	if maxConns > 0 {
+		s.tcpSem = make(chan struct{}, maxConns)
+	}
+	s.instrumentProtection(reg)
 	return s
 }
 
@@ -223,6 +294,11 @@ type scratch struct {
 	out    []byte
 	key    []byte
 	insert cacheIntent
+	// journal is the worker's crash journal, built lazily on the first
+	// protected packet and kept for the scratch's lifetime.
+	journal *qod.Journal
+	// tick drives the watchdog's 1-in-N answer-latency sampling.
+	tick uint32
 }
 
 // cacheIntent carries a fast-path miss into the slow path: the key bytes
@@ -370,9 +446,16 @@ func (s *Server) serveUDP(conn *net.UDPConn) {
 	for {
 		n, src, err := conn.ReadFromUDPAddrPort(buf)
 		if err != nil {
-			return // closed
+			return // closed (or deadline-poked by Drain)
 		}
 		s.Metrics.UDPQueries.Add(1)
+		if s.watchdog != nil && s.watchdog.Engaged() && s.watchdog.Suspended(time.Now()) {
+			// Live self-suspension: traffic is read and discarded unanswered
+			// — the socket-level emulation of withdrawing the anycast route
+			// (§4.2.1). Reading (rather than pausing) keeps the kernel
+			// buffer from serving stale packets on resume.
+			continue
+		}
 		resp := s.handlePacket(buf[:n], src, false, sc)
 		if resp == nil {
 			continue
@@ -383,11 +466,88 @@ func (s *Server) serveUDP(conn *net.UDPConn) {
 	}
 }
 
-// handlePacket serves one message: the UDP hot path first (packed-response
-// cache behind an allocation-free query parse), then the full
-// decode/score/answer/encode slow path. The returned slice is valid until
-// the next handlePacket call with the same scratch.
-func (s *Server) handlePacket(wire []byte, src netip.AddrPort, tcp bool, sc *scratch) []byte {
+// handlePacket serves one message under the self-protective layer (on by
+// default): the overload ladder, the pre-decode quarantine check, the crash
+// journal, and the recover boundary around dispatch. The steady-state
+// overhead is a handful of nil checks, one atomic quarantine-length load,
+// and a bounded copy into the journal slot. The returned slice is valid
+// until the next handlePacket call with the same scratch.
+func (s *Server) handlePacket(wire []byte, src netip.AddrPort, tcp bool, sc *scratch) (resp []byte) {
+	if !s.protected {
+		return s.dispatch(wire, src, tcp, sc, qod.LevelFull)
+	}
+	level := qod.LevelFull
+	if s.ladder != nil {
+		level = s.ladder.Enter()
+		defer s.ladder.Exit()
+		if level == qod.LevelSaturated {
+			// Above the ceiling nothing is answered — the silent drop the
+			// kernel would otherwise apply to the socket backlog, except
+			// accounted for.
+			s.shed[qod.LevelSaturated].Add(1)
+			sc.insert = cacheIntent{}
+			return nil
+		}
+	}
+	var probation *qod.Entry
+	if s.qodGuard != nil {
+		if s.qodGuard.Len() > 0 {
+			// Quarantine consultation happens before any decoding beyond the
+			// allocation-free view parse, so a quarantined pattern costs
+			// near-nothing no matter how hard it hits.
+			if v, ok := dnswire.ParseQueryView(wire); ok {
+				e, outcome := s.qodGuard.Check(v.QnameWire(wire), uint16(v.QType), v.Flags, time.Now())
+				switch outcome {
+				case qod.Blocked:
+					s.Metrics.QoDRefused.Add(1)
+					sc.insert = cacheIntent{}
+					out := refusedFor(wire, v.QnameLen+4, sc.out[:0])
+					if out != nil {
+						sc.out = out
+					}
+					return out
+				case qod.Probation:
+					// TTL lapsed: this query is the re-admission probe. If it
+					// completes we acquit after dispatch; if it panics, the
+					// acquittal is never reached and containPanic re-strikes
+					// the entry with a longer TTL.
+					probation = e
+				}
+			}
+		}
+		if sc.journal == nil {
+			sc.journal = qod.NewJournal(0, 0)
+		}
+		sc.journal.Record(wire)
+		defer func() {
+			if r := recover(); r != nil {
+				resp = nil
+				sc.insert = cacheIntent{}
+				s.containPanic(r, wire, sc.journal)
+			}
+		}()
+	}
+	if s.watchdog != nil {
+		sc.tick++
+		if sc.tick&latencySampleMask == 0 {
+			resp = s.dispatchTimed(wire, src, tcp, sc, level)
+		} else {
+			resp = s.dispatch(wire, src, tcp, sc, level)
+		}
+	} else {
+		resp = s.dispatch(wire, src, tcp, sc, level)
+	}
+	if probation != nil {
+		s.qodGuard.Acquit(probation)
+	}
+	return resp
+}
+
+// dispatch is the unguarded serving pipeline: the UDP hot path first
+// (packed-response cache behind an allocation-free query parse), then the
+// full decode/score/answer/encode slow path, shedding per the degradation
+// level on the way.
+func (s *Server) dispatch(wire []byte, src netip.AddrPort, tcp bool, sc *scratch, level int) []byte {
 	if !tcp && s.hot != nil && s.Engine.Tailor == nil && !s.Cfg.RequireCookies {
 		if v, ok := dnswire.ParseQueryView(wire); ok {
 			if out, done := s.handleFast(wire, v, src, sc); done {
@@ -395,7 +555,22 @@ func (s *Server) handlePacket(wire []byte, src netip.AddrPort, tcp bool, sc *scr
 			}
 		}
 	}
-	return s.handleSlow(wire, src, tcp, sc)
+	if level >= qod.LevelDegraded && s.Pipeline != nil &&
+		!s.Pipeline.Allowlisted(s.resolverKey(src.Addr())) {
+		// Degraded: the expensive slow path is reserved for historically-
+		// known resolvers; everyone else gets hot-cache answers (above) or
+		// this cheap wire-level REFUSED.
+		s.shed[qod.LevelDegraded].Add(1)
+		sc.insert = cacheIntent{}
+		if v, ok := dnswire.ParseQueryView(wire); ok {
+			if out := refusedFor(wire, v.QnameLen+4, sc.out[:0]); out != nil {
+				sc.out = out
+				return out
+			}
+		}
+		return nil
+	}
+	return s.handleSlow(wire, src, tcp, sc, level)
 }
 
 // sizeClassUDP buckets a query's advertised payload limit so one cached
@@ -502,7 +677,7 @@ func (s *Server) handleFast(wire []byte, v dnswire.QueryView, src netip.AddrPort
 // nil when the query is dropped (discard or undecodable with no usable
 // header). The tracer stamps each stage: receive (decode) → cookie →
 // score → queue → lookup → write (encode/truncate).
-func (s *Server) handleSlow(wire []byte, src netip.AddrPort, tcp bool, sc *scratch) []byte {
+func (s *Server) handleSlow(wire []byte, src netip.AddrPort, tcp bool, sc *scratch, level int) []byte {
 	intent := sc.insert
 	sc.insert = cacheIntent{}
 	span := s.Tracer.Begin()
@@ -511,6 +686,9 @@ func (s *Server) handleSlow(wire []byte, src netip.AddrPort, tcp bool, sc *scrat
 	span.Mark(obs.StageReceive)
 	if err != nil {
 		s.Metrics.DecodeErrors.Add(1)
+		if s.watchdog != nil {
+			s.watchdog.RecordMalformed(time.Now())
+		}
 		out := formErrFor(wire, sc.out[:0])
 		if out != nil {
 			sc.out = out
@@ -596,6 +774,20 @@ func (s *Server) handleSlow(wire []byte, src netip.AddrPort, tcp bool, sc *scrat
 			s.Metrics.Discarded.Add(1)
 			return nil
 		}
+		if level >= qod.LevelCleanOnly && s.admission != nil && s.admission.Rung(score) > 0 {
+			// Clean-only: at ≥85% of the in-flight ceiling, only queries in
+			// the lowest-penalty rung are worth the remaining capacity;
+			// scored tiers above it are refused outright.
+			s.shed[qod.LevelCleanOnly].Add(1)
+			r := dnswire.NewResponse(q)
+			r.RCode = dnswire.RCodeRefused
+			out, err := r.AppendPack(sc.out[:0])
+			if err != nil {
+				return nil
+			}
+			sc.out = out
+			return out
+		}
 		span.Mark(obs.StageQueue)
 	}
 	if srcKey == "" {
@@ -612,6 +804,12 @@ func (s *Server) handleSlow(wire []byte, src netip.AddrPort, tcp bool, sc *scrat
 		}
 	}
 	if crashed {
+		if s.qodGuard != nil {
+			// Containment is on: surface the crash as a real panic so the
+			// recover boundary journals, quarantines, and minimizes it —
+			// the path a genuine parsing bug would take.
+			panic(errQueryOfDeath)
+		}
 		// The real process would die; over sockets we emulate by not
 		// answering (the resolver times out), mirroring §4.2.4.
 		return nil
@@ -681,10 +879,28 @@ func (s *Server) serveTCP() {
 		if err != nil {
 			return
 		}
+		if s.tcpSem != nil {
+			select {
+			case s.tcpSem <- struct{}{}:
+			default:
+				// At the connection cap: shed the newcomer rather than let a
+				// slowloris herd pin every handler goroutine (§5.2).
+				s.Metrics.TCPRejected.Add(1)
+				conn.Close()
+				continue
+			}
+		}
+		s.trackConn(conn, true)
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			defer conn.Close()
+			defer func() {
+				conn.Close()
+				s.trackConn(conn, false)
+				if s.tcpSem != nil {
+					<-s.tcpSem
+				}
+			}()
 			s.serveTCPConn(conn)
 		}()
 	}
@@ -697,15 +913,30 @@ func (s *Server) serveTCPConn(conn net.Conn) {
 	} else if ap, err := netip.ParseAddrPort(conn.RemoteAddr().String()); err == nil {
 		src = ap
 	}
+	maxQueries := s.Cfg.MaxTCPQueries
+	if maxQueries == 0 {
+		maxQueries = DefaultMaxTCPQueries
+	}
+	served := 0
 	sc := scratchPool.Get().(*scratch)
 	defer scratchPool.Put(sc)
 	for {
+		if s.suspendedOrDraining() {
+			return // suspended or draining: the connection is shed whole
+		}
+		// The read deadline refreshes per message, so an idle or trickling
+		// peer is bounded per frame, not per connection lifetime.
 		if s.Cfg.ReadTimeout > 0 {
 			conn.SetReadDeadline(time.Now().Add(s.Cfg.ReadTimeout))
 		}
 		wire, err := readFrame(conn)
 		if err != nil {
 			return
+		}
+		if maxQueries > 0 {
+			if served++; served > maxQueries {
+				return // per-connection query budget spent
+			}
 		}
 		s.Metrics.TCPQueries.Add(1)
 		// Zone transfers?

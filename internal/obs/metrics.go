@@ -3,6 +3,7 @@ package obs
 import (
 	"math"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically increasing counter. The zero value is ready to
@@ -41,11 +42,13 @@ func (g *Gauge) Load() int64 { return g.v.Load() }
 // catches everything. Observe is a short linear scan plus two atomic adds —
 // designed to stay under ~100ns on the serving hot path.
 type Histogram struct {
-	upper  []float64 // sorted upper bounds, +Inf excluded
-	counts []atomic.Uint64
-	inf    atomic.Uint64
-	count  atomic.Uint64
-	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+	upper   []float64 // sorted upper bounds, +Inf excluded
+	upperNs []int64   // the same bounds in nanoseconds, for ObserveDuration
+	counts  []atomic.Uint64
+	inf     atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64 // float64 bits, CAS-accumulated (Observe)
+	sumNs   atomic.Int64  // nanoseconds, add-accumulated (ObserveDuration)
 }
 
 // DefLatencyBuckets spans 1µs..1s, the range a DNS query can plausibly
@@ -69,7 +72,15 @@ func NewHistogram(buckets []float64) *Histogram {
 		}
 	}
 	up := append([]float64(nil), buckets...)
-	return &Histogram{upper: up, counts: make([]atomic.Uint64, len(up))}
+	ns := make([]int64, len(up))
+	for i, u := range up {
+		if f := u * 1e9; f >= math.MaxInt64 {
+			ns[i] = math.MaxInt64
+		} else {
+			ns[i] = int64(f + 0.5)
+		}
+	}
+	return &Histogram{upper: up, upperNs: ns, counts: make([]atomic.Uint64, len(up))}
 }
 
 // Observe records one value.
@@ -98,11 +109,37 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// ObserveDuration records one latency without touching floating point: the
+// bucket scan compares integer nanoseconds against precomputed bounds and
+// the sum accumulates by a single atomic add instead of Observe's CAS loop.
+// This is the serving-path variant — the tracer stamps every query through
+// it several times.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	n := int64(d)
+	idx := -1
+	for i, up := range h.upperNs {
+		if n <= up {
+			idx = i
+			break
+		}
+	}
+	if idx >= 0 {
+		h.counts[idx].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	h.count.Add(1)
+	h.sumNs.Add(n)
+}
+
 // Count returns the total number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
-// Sum returns the sum of observed values.
-func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+// Sum returns the sum of observed values (Observe's float accumulator plus
+// ObserveDuration's nanosecond accumulator, in seconds).
+func (h *Histogram) Sum() float64 {
+	return math.Float64frombits(h.sum.Load()) + float64(h.sumNs.Load())*1e-9
+}
 
 // Buckets returns the upper bounds and their cumulative counts (the +Inf
 // bucket is the final entry with Upper = +Inf).

@@ -86,7 +86,7 @@ func (s *Span) Mark(st Stage) {
 		return
 	}
 	now := s.t.now()
-	s.t.stages[st].Observe(now.Sub(s.last).Seconds())
+	s.t.stages[st].ObserveDuration(now.Sub(s.last))
 	s.last = now
 }
 
@@ -95,5 +95,5 @@ func (s *Span) End() {
 	if s.t == nil {
 		return
 	}
-	s.t.e2e.Observe(s.t.now().Sub(s.start).Seconds())
+	s.t.e2e.ObserveDuration(s.t.now().Sub(s.start))
 }

@@ -1,0 +1,67 @@
+package qod
+
+// Journal is a fixed-size ring of the most recent raw queries one worker
+// handled: the crash journal backing the recover() boundary. Recording is a
+// bounded copy into a preallocated slot plus an index bump — no locks, no
+// allocation — because it runs on the packet hot path. A journal belongs to
+// exactly one worker (UDP read loop or TCP connection) and is NOT safe for
+// concurrent use; Snapshot copies the entries out so the off-path signature
+// extractor can replay them after the worker has moved on.
+type Journal struct {
+	slots [][]byte
+	lens  []uint16
+	pos   int
+}
+
+// Journal defaults: 32 queries deep, 512 bytes recorded per query (a DNS
+// query is almost always far smaller; longer packets are recorded
+// truncated, which still preserves the header and question the signature
+// machinery needs).
+const (
+	DefaultJournalDepth    = 32
+	DefaultJournalSlotSize = 512
+)
+
+// NewJournal builds a ring of depth slots of slotSize bytes (0s mean the
+// defaults).
+func NewJournal(depth, slotSize int) *Journal {
+	if depth <= 0 {
+		depth = DefaultJournalDepth
+	}
+	if slotSize <= 0 {
+		slotSize = DefaultJournalSlotSize
+	}
+	j := &Journal{slots: make([][]byte, depth), lens: make([]uint16, depth)}
+	backing := make([]byte, depth*slotSize)
+	for i := range j.slots {
+		j.slots[i] = backing[i*slotSize : (i+1)*slotSize]
+	}
+	return j
+}
+
+// Record copies wire (truncated to the slot size) into the next ring slot.
+func (j *Journal) Record(wire []byte) {
+	j.lens[j.pos] = uint16(copy(j.slots[j.pos], wire))
+	j.pos++
+	if j.pos == len(j.slots) {
+		j.pos = 0
+	}
+}
+
+// Snapshot returns copies of the recorded queries, newest first, skipping
+// empty slots. Called off the hot path (it allocates).
+func (j *Journal) Snapshot() [][]byte {
+	out := make([][]byte, 0, len(j.slots))
+	for i := 0; i < len(j.slots); i++ {
+		idx := j.pos - 1 - i
+		if idx < 0 {
+			idx += len(j.slots)
+		}
+		n := int(j.lens[idx])
+		if n == 0 {
+			continue
+		}
+		out = append(out, append([]byte(nil), j.slots[idx][:n]...))
+	}
+	return out
+}

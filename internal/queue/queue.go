@@ -113,6 +113,27 @@ func (q *Q) Enqueue(score float64, payload any) Outcome {
 	return Accepted
 }
 
+// Rung reports which ladder rung a score lands in (0 = lowest penalty,
+// i.e. clean) without touching the queues or counters, or -1 at S >= Smax.
+// The overload degradation ladder uses it to shed scored tiers above the
+// clean rung when the machine is near its in-flight ceiling.
+func (q *Q) Rung(score float64) int {
+	if score >= q.cfg.Smax {
+		return -1
+	}
+	idx := len(q.cfg.MaxScores) - 1
+	for i, m := range q.cfg.MaxScores {
+		if score <= m {
+			idx = i
+			break
+		}
+	}
+	return idx
+}
+
+// Rung on the FIFO comparator: every admissible score is rung 0.
+func (f *FIFO) Rung(score float64) int { return 0 }
+
 // Admit classifies a score without queueing a payload: the same ladder
 // placement and counters as an Enqueue immediately followed by a Dequeue,
 // minus the slice traffic. The socket server uses it when queries are
@@ -330,6 +351,7 @@ func (f *FIFO) Drain() int {
 type Interface interface {
 	Enqueue(score float64, payload any) Outcome
 	Admit(score float64) Outcome
+	Rung(score float64) int
 	Dequeue() (Item, bool)
 	Len() int
 	Stats() Stats
