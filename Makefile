@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race vet bench bench-smoke bench-json experiments fuzz chaos chaos-soak examples clean
+.PHONY: all build test race vet bench bench-compile bench-smoke bench-json experiments fuzz chaos chaos-soak examples clean
 
 all: build test
 
@@ -18,6 +18,8 @@ test:
 race:
 	go test -race ./...
 	go test -race -run='TestConcurrentMixedLoad|TestConcurrentUDPClients|TestHotCache' -count=2 ./internal/netserve/
+	go test -race -run='TestViewServeWhileMutating' -count=2 ./internal/netserve/
+	go test -race -run='TestViewConcurrentMutate' -count=2 ./internal/zone/
 	go test -race -run='TestContainmentPanicStorm|TestQueryOfDeathDrill' -count=2 ./internal/netserve/
 	go test -race -run='TestCoordinatorRaceStress|TestCoordinatorQuorumUnionOverGrant' -count=2 ./internal/monitor/
 
@@ -26,6 +28,11 @@ vet:
 
 bench:
 	go test -bench=. -benchmem -benchtime=1x .
+
+# Compile-and-run every benchmark once: catches bit-rot in bench harnesses
+# across all packages without the cost of a real measurement.
+bench-compile:
+	go test -run='^$$' -bench=. -benchtime=1x ./...
 
 # One-iteration smoke run of the socket benchmarks (catches bit-rot in the
 # bench harness without the cost of a real measurement).
@@ -36,7 +43,7 @@ bench-smoke:
 # via a temp file: a direct redirect would truncate the old file before
 # benchjson reads its baseline block out of it.
 bench-json:
-	go test -run='^$$' -bench='BenchmarkNetServeUDP|BenchmarkHandleUDP' -benchmem -benchtime=2s . ./internal/netserve/ | go run ./cmd/benchjson > BENCH_netserve.json.tmp
+	go test -run='^$$' -bench='BenchmarkNetServeUDP|BenchmarkHandleUDP|BenchmarkStoreFind' -benchmem -benchtime=2s . ./internal/netserve/ ./internal/zone/ | go run ./cmd/benchjson > BENCH_netserve.json.tmp
 	mv BENCH_netserve.json.tmp BENCH_netserve.json
 	@cat BENCH_netserve.json
 
@@ -48,6 +55,7 @@ fuzz:
 	go test -fuzz=FuzzUnpackInto -fuzztime=30s ./internal/dnswire/
 	go test -fuzz=FuzzAppendPack -fuzztime=30s ./internal/dnswire/
 	go test -fuzz=FuzzParseMaster -fuzztime=30s ./internal/zone/
+	go test -fuzz=FuzzViewLookupParity -fuzztime=30s ./internal/zone/
 	go test -fuzz=FuzzTCPFrameReader -fuzztime=30s ./internal/netserve/
 
 # Deterministic fault-injection harness: every scenario once at the default

@@ -177,7 +177,7 @@ func benchStore(b *testing.B) *zone.Store {
 func BenchmarkWirePack(b *testing.B) {
 	q := dnswire.NewQuery(1, dnswire.MustName("www.bench.test"), dnswire.TypeA)
 	eng := nameserver.NewEngine(benchStore(b))
-	resp, _, _ := eng.Answer(q, "r")
+	resp, _, _ := eng.Answer(q, nameserver.ResolverKey("r"))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := resp.Pack(); err != nil {
@@ -189,7 +189,7 @@ func BenchmarkWirePack(b *testing.B) {
 func BenchmarkWireUnpack(b *testing.B) {
 	q := dnswire.NewQuery(1, dnswire.MustName("www.bench.test"), dnswire.TypeA)
 	eng := nameserver.NewEngine(benchStore(b))
-	resp, _, _ := eng.Answer(q, "r")
+	resp, _, _ := eng.Answer(q, nameserver.ResolverKey("r"))
 	wire, _ := resp.Pack()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -226,7 +226,7 @@ func BenchmarkEngineAnswer(b *testing.B) {
 	q := dnswire.NewQuery(1, dnswire.MustName("api.bench.test"), dnswire.TypeA)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		resp, _, _ := eng.Answer(q, "r")
+		resp, _, _ := eng.Answer(q, nameserver.ResolverKey("r"))
 		if resp.RCode != dnswire.RCodeNoError {
 			b.Fatal("bad answer")
 		}

@@ -7,6 +7,7 @@ import (
 
 	"akamaidns/internal/anycast"
 	"akamaidns/internal/dnswire"
+	"akamaidns/internal/nameserver"
 	"akamaidns/internal/netsim"
 	"akamaidns/internal/pop"
 	"akamaidns/internal/resolver"
@@ -54,7 +55,7 @@ func (p *Platform) AddClient(name, region string) *Client {
 	node.SetHandler(c.handle)
 	// Register the client's location with the mapper (EdgeScape-style
 	// geolocation).
-	p.Mapper.SetClientLocation(c.Addr, node.Loc)
+	p.Mapper.SetClientLocation(nameserver.ResolverKey(c.Addr), node.Loc)
 	return c
 }
 

@@ -133,6 +133,69 @@ func ParseQueryView(wire []byte) (QueryView, bool) {
 	return v, true
 }
 
+// AppendQnameFolded appends the query's name bytes to dst with ASCII
+// uppercase folded to lowercase, walking label by label and validating the
+// same alphabet ParseName accepts (letters, digits, hyphen, underscore,
+// asterisk). It reports false when any label carries a byte the text parser
+// would reject — the caller must fall back to the full decode path so those
+// queries keep producing the decode path's error handling (FormErr), not a
+// lookup miss. Folding label-aware (rather than blindly) is what makes the
+// validation sound: length octets 42 ('*') or 45 ('-') are never mistaken
+// for content bytes.
+func (v QueryView) AppendQnameFolded(dst, wire []byte) ([]byte, bool) {
+	q := wire[qnameStart : qnameStart+v.QnameLen]
+	off := 0
+	for q[off] != 0 {
+		l := int(q[off])
+		dst = append(dst, q[off])
+		off++
+		for end := off + l; off < end; off++ {
+			c := q[off]
+			if 'A' <= c && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			ok := c == '-' || c == '_' || c == '*' ||
+				('a' <= c && c <= 'z') || ('0' <= c && c <= '9')
+			if !ok {
+				return dst, false
+			}
+			dst = append(dst, c)
+		}
+	}
+	return append(dst, 0), true
+}
+
+// NameFromFoldedWire converts wire-form name bytes that have already been
+// folded and validated by AppendQnameFolded into a canonical Name. It is the
+// inverse of Name.AppendWire and allocates exactly the backing string.
+func NameFromFoldedWire(b []byte) (Name, bool) {
+	if len(b) == 0 || len(b) > maxNameWire {
+		return Name{}, false
+	}
+	if len(b) == 1 {
+		return Root, b[0] == 0
+	}
+	text := make([]byte, 0, len(b)-1)
+	off := 0
+	for {
+		if off >= len(b) {
+			return Name{}, false
+		}
+		l := int(b[off])
+		if l == 0 {
+			break
+		}
+		off++
+		if l > maxLabelLen || off+l > len(b) {
+			return Name{}, false
+		}
+		text = append(text, b[off:off+l]...)
+		text = append(text, '.')
+		off += l
+	}
+	return Name{s: string(text)}, off == len(b)-1
+}
+
 // AppendCacheKey appends the canonical hot-cache key for the query to dst:
 // the case-folded qname wire bytes, the qtype and qclass, and the caller's
 // payload size class. Length octets (1..63) never collide with the folded

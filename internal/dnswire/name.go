@@ -200,6 +200,28 @@ func (n Name) Compare(m Name) int {
 	}
 }
 
+// AppendWire appends the uncompressed wire encoding of the name to buf. The
+// zero Name appends nothing (compiled-view callers only encode valid names).
+func (n Name) AppendWire(buf []byte) []byte {
+	if n.s == "" {
+		return buf
+	}
+	out, err := n.appendWire(buf)
+	if err != nil {
+		return buf
+	}
+	return out
+}
+
+// WireLen reports the encoded (uncompressed) length of the name, or 0 for
+// the zero Name.
+func (n Name) WireLen() int {
+	if n.s == "" {
+		return 0
+	}
+	return n.wireLen()
+}
+
 // appendWire encodes the name without compression into buf.
 func (n Name) appendWire(buf []byte) ([]byte, error) {
 	if n.s == "" {

@@ -23,26 +23,70 @@ func newCompressionMap(base int) *compressionMap {
 }
 
 // appendName writes name to buf using compression pointers where a suffix
-// has been emitted before.
+// has been emitted before. A nil offsets map disables compression entirely
+// (names are written in full), which produces position-independent bytes
+// for pre-packed record blobs.
 func (cm *compressionMap) appendName(buf []byte, n Name) ([]byte, error) {
 	if n.IsZero() {
 		return nil, errors.New("dnswire: packing zero Name")
 	}
 	labels := n.Labels()
 	for i := range labels {
-		suffix := joinFrom(labels, i)
-		if off, ok := cm.offsets[suffix]; ok {
-			// Emit pointer to the previously-written suffix.
-			return append(buf, 0xC0|byte(off>>8), byte(off)), nil
-		}
-		off := len(buf) - cm.base
-		if off <= 0x3FFF {
-			cm.offsets[suffix] = off
+		if cm.offsets != nil {
+			suffix := joinFrom(labels, i)
+			if off, ok := cm.offsets[suffix]; ok {
+				// Emit pointer to the previously-written suffix.
+				return append(buf, 0xC0|byte(off>>8), byte(off)), nil
+			}
+			if off := len(buf) - cm.base; off <= 0x3FFF {
+				cm.offsets[suffix] = off
+			}
 		}
 		buf = append(buf, byte(len(labels[i])))
 		buf = append(buf, labels[i]...)
 	}
 	return append(buf, 0), nil
+}
+
+// noCompression packs names in full; pre-packed blobs must not contain
+// pointers because they are replayed at arbitrary message offsets.
+var noCompression = &compressionMap{}
+
+// AppendRR appends one record in fully uncompressed wire form: owner name,
+// TYPE, CLASS, TTL, RDLENGTH, RDATA, with no compression pointers anywhere.
+// The resulting bytes are position-independent and may be spliced into any
+// message (compiled zone views pre-pack glue records this way).
+func AppendRR(buf []byte, rr RR) ([]byte, error) {
+	h := rr.Header()
+	buf, err := h.Name.appendWire(buf)
+	if err != nil {
+		return nil, err
+	}
+	return AppendRRBody(buf, rr)
+}
+
+// AppendRRBody appends a record's owner-less wire form — TYPE, CLASS, TTL,
+// RDLENGTH, RDATA with uncompressed RDATA names — so a caller can prefix its
+// own owner encoding (a compression pointer into the question name, or a
+// literal name) when splicing the body into a response.
+func AppendRRBody(buf []byte, rr RR) ([]byte, error) {
+	h := rr.Header()
+	buf = appendUint16(buf, uint16(h.Type))
+	buf = appendUint16(buf, uint16(h.Class))
+	buf = appendUint32(buf, h.TTL)
+	lenAt := len(buf)
+	buf = append(buf, 0, 0)
+	buf, err := rr.packRData(buf, noCompression)
+	if err != nil {
+		return nil, err
+	}
+	rdlen := len(buf) - lenAt - 2
+	if rdlen > 0xFFFF {
+		return nil, fmt.Errorf("dnswire: RDATA length %d exceeds 65535", rdlen)
+	}
+	buf[lenAt] = byte(rdlen >> 8)
+	buf[lenAt+1] = byte(rdlen)
+	return buf, nil
 }
 
 func joinFrom(labels []string, i int) string {

@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"akamaidns/internal/dnswire"
+	"akamaidns/internal/nameserver"
 	"akamaidns/internal/netsim"
 	"akamaidns/internal/pubsub"
 )
@@ -63,7 +64,7 @@ type Mapper struct {
 	edges      map[string]*Edge
 	// clients maps a client key (resolver address or ECS prefix) to its
 	// location; unknown clients get zero-distance treatment (load only).
-	clients map[string]netsim.GeoPoint
+	clients map[nameserver.ClientKey]netsim.GeoPoint
 
 	// Version increments on every state change (the metadata version the
 	// nameservers consume).
@@ -77,7 +78,7 @@ func New(cfg Config, bus *pubsub.Bus) *Mapper {
 		bus:        bus,
 		properties: make(map[dnswire.Name][]string),
 		edges:      make(map[string]*Edge),
-		clients:    make(map[string]netsim.GeoPoint),
+		clients:    make(map[nameserver.ClientKey]netsim.GeoPoint),
 	}
 }
 
@@ -113,11 +114,11 @@ func (m *Mapper) BindProperty(host dnswire.Name, edgeIDs ...string) error {
 	return nil
 }
 
-// SetClientLocation records where a client key is (fed by geolocation in
+// SetClientLocation records where a client is (fed by geolocation in
 // production, by the topology in simulation).
-func (m *Mapper) SetClientLocation(clientKey string, loc netsim.GeoPoint) {
+func (m *Mapper) SetClientLocation(client nameserver.ClientKey, loc netsim.GeoPoint) {
 	m.mu.Lock()
-	m.clients[clientKey] = loc
+	m.clients[client] = loc
 	m.mu.Unlock()
 }
 
@@ -153,8 +154,8 @@ func (m *Mapper) publish(kind, id string) {
 }
 
 // TailorA implements nameserver.Tailorer.
-func (m *Mapper) TailorA(qname dnswire.Name, clientKey string) ([]netip.Addr, uint32, bool) {
-	picks := m.Select(qname, clientKey)
+func (m *Mapper) TailorA(qname dnswire.Name, client nameserver.ClientKey) ([]netip.Addr, uint32, bool) {
+	picks := m.Select(qname, client)
 	if len(picks) == 0 {
 		return nil, 0, false
 	}
@@ -168,14 +169,14 @@ func (m *Mapper) TailorA(qname dnswire.Name, clientKey string) ([]netip.Addr, ui
 // Select returns the best edges for a client, nearest-and-least-loaded
 // first, up to AnswersPerQuery. Dead edges are excluded; overloaded edges
 // are excluded unless nothing else remains.
-func (m *Mapper) Select(qname dnswire.Name, clientKey string) []Edge {
+func (m *Mapper) Select(qname dnswire.Name, client nameserver.ClientKey) []Edge {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	ids, ok := m.properties[qname]
 	if !ok {
 		return nil
 	}
-	loc, hasLoc := m.clients[clientKey]
+	loc, hasLoc := m.clients[client]
 	type scored struct {
 		e     Edge
 		score float64

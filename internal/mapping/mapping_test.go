@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"akamaidns/internal/dnswire"
+	"akamaidns/internal/nameserver"
 	"akamaidns/internal/netsim"
 	"akamaidns/internal/pubsub"
 	"akamaidns/internal/simtime"
@@ -31,8 +32,8 @@ func newMapper(t *testing.T) *Mapper {
 
 func TestSelectNearest(t *testing.T) {
 	m := newMapper(t)
-	m.SetClientLocation("r-eu", netsim.GeoPoint{Lat: 48.8, Lon: 2.3}) // Paris
-	picks := m.Select(dnswire.MustName("www.cdn.test"), "r-eu")
+	m.SetClientLocation(nameserver.ResolverKey("r-eu"), netsim.GeoPoint{Lat: 48.8, Lon: 2.3}) // Paris
+	picks := m.Select(dnswire.MustName("www.cdn.test"), nameserver.ResolverKey("r-eu"))
 	if len(picks) != 2 {
 		t.Fatalf("picks = %d", len(picks))
 	}
@@ -43,9 +44,9 @@ func TestSelectNearest(t *testing.T) {
 
 func TestSelectSkipsDead(t *testing.T) {
 	m := newMapper(t)
-	m.SetClientLocation("r-eu", lon)
+	m.SetClientLocation(nameserver.ResolverKey("r-eu"), lon)
 	m.SetAlive("e-lon", false)
-	picks := m.Select(dnswire.MustName("www.cdn.test"), "r-eu")
+	picks := m.Select(dnswire.MustName("www.cdn.test"), nameserver.ResolverKey("r-eu"))
 	for _, p := range picks {
 		if p.ID == "e-lon" {
 			t.Fatal("dead edge selected")
@@ -58,10 +59,10 @@ func TestSelectSkipsDead(t *testing.T) {
 
 func TestSelectLoadShedding(t *testing.T) {
 	m := newMapper(t)
-	m.SetClientLocation("r-eu", lon)
+	m.SetClientLocation(nameserver.ResolverKey("r-eu"), lon)
 	// London overloaded: the mapper prefers NYC despite the distance.
 	m.SetLoad("e-lon", 0.99)
-	picks := m.Select(dnswire.MustName("www.cdn.test"), "r-eu")
+	picks := m.Select(dnswire.MustName("www.cdn.test"), nameserver.ResolverKey("r-eu"))
 	if picks[0].ID == "e-lon" {
 		t.Fatal("overloaded edge still preferred")
 	}
@@ -70,17 +71,17 @@ func TestSelectLoadShedding(t *testing.T) {
 func TestSelectLoadTradesDistance(t *testing.T) {
 	m := newMapper(t)
 	// Client in Reykjavik: ~1890 km to London, ~4200 km to NYC.
-	m.SetClientLocation("r-is", netsim.GeoPoint{Lat: 64.1, Lon: -21.9})
+	m.SetClientLocation(nameserver.ResolverKey("r-is"), netsim.GeoPoint{Lat: 64.1, Lon: -21.9})
 	// Moderate load on London (0.3 * 4000 km = 1200 km virtual): still wins.
 	m.SetLoad("e-lon", 0.3)
-	picks := m.Select(dnswire.MustName("www.cdn.test"), "r-is")
+	picks := m.Select(dnswire.MustName("www.cdn.test"), nameserver.ResolverKey("r-is"))
 	if picks[0].ID != "e-lon" {
 		t.Fatalf("moderately loaded nearest rejected: %s", picks[0].ID)
 	}
 	// Heavy (but below overload threshold) load flips the preference:
 	// 1890 + 0.9*4000 = 5490 km virtual > 4200 km to NYC.
 	m.SetLoad("e-lon", 0.9)
-	picks = m.Select(dnswire.MustName("www.cdn.test"), "r-is")
+	picks = m.Select(dnswire.MustName("www.cdn.test"), nameserver.ResolverKey("r-is"))
 	if picks[0].ID == "e-lon" {
 		t.Fatal("load penalty did not flip preference")
 	}
@@ -88,11 +89,11 @@ func TestSelectLoadTradesDistance(t *testing.T) {
 
 func TestSelectAllOverloadedDegrades(t *testing.T) {
 	m := newMapper(t)
-	m.SetClientLocation("r-eu", lon)
+	m.SetClientLocation(nameserver.ResolverKey("r-eu"), lon)
 	for _, id := range []string{"e-nyc", "e-lon", "e-tok"} {
 		m.SetLoad(id, 0.99)
 	}
-	picks := m.Select(dnswire.MustName("www.cdn.test"), "r-eu")
+	picks := m.Select(dnswire.MustName("www.cdn.test"), nameserver.ResolverKey("r-eu"))
 	if len(picks) == 0 {
 		t.Fatal("degraded state returned nothing (should serve overloaded edges)")
 	}
@@ -100,22 +101,22 @@ func TestSelectAllOverloadedDegrades(t *testing.T) {
 
 func TestSelectUnknownProperty(t *testing.T) {
 	m := newMapper(t)
-	if picks := m.Select(dnswire.MustName("nope.cdn.test"), "r-eu"); picks != nil {
+	if picks := m.Select(dnswire.MustName("nope.cdn.test"), nameserver.ResolverKey("r-eu")); picks != nil {
 		t.Fatal("unknown property returned picks")
 	}
 }
 
 func TestTailorA(t *testing.T) {
 	m := newMapper(t)
-	m.SetClientLocation("r-us", nyc)
-	addrs, ttl, ok := m.TailorA(dnswire.MustName("www.cdn.test"), "r-us")
+	m.SetClientLocation(nameserver.ResolverKey("r-us"), nyc)
+	addrs, ttl, ok := m.TailorA(dnswire.MustName("www.cdn.test"), nameserver.ResolverKey("r-us"))
 	if !ok || len(addrs) != 2 || ttl != 20 {
 		t.Fatalf("TailorA = %v %d %v", addrs, ttl, ok)
 	}
 	if addrs[0] != netip.MustParseAddr("198.51.100.1") {
 		t.Fatalf("nearest addr = %v", addrs[0])
 	}
-	if _, _, ok := m.TailorA(dnswire.MustName("unbound.test"), "r-us"); ok {
+	if _, _, ok := m.TailorA(dnswire.MustName("unbound.test"), nameserver.ResolverKey("r-us")); ok {
 		t.Fatal("unbound property tailored")
 	}
 }
@@ -154,10 +155,10 @@ func TestCapacityWeighting(t *testing.T) {
 	m.AddEdge("e-small", netip.MustParseAddr("198.51.100.1"), nyc, 1)
 	m.AddEdge("e-big", netip.MustParseAddr("198.51.100.2"), nyc, 4)
 	m.BindProperty(dnswire.MustName("p.test"), "e-small", "e-big")
-	m.SetClientLocation("c", lon)
+	m.SetClientLocation(nameserver.ResolverKey("c"), lon)
 	m.SetLoad("e-small", 0.3)
 	m.SetLoad("e-big", 0.3)
-	picks := m.Select(dnswire.MustName("p.test"), "c")
+	picks := m.Select(dnswire.MustName("p.test"), nameserver.ResolverKey("c"))
 	if picks[0].ID != "e-big" {
 		t.Fatalf("capacity weighting pick = %s", picks[0].ID)
 	}

@@ -13,15 +13,47 @@ import (
 	"akamaidns/internal/zone"
 )
 
+// ClientKey identifies the client a response is tailored for: the querying
+// resolver by transport identity, or — when the query carries an
+// EDNS-Client-Subnet option — the end-user subnet itself. It is a comparable
+// value type so per-query keys are built with zero allocations (the previous
+// string keys cost a formatting allocation on every ECS query).
+type ClientKey struct {
+	// Resolver is the transport-level resolver identity; empty when the key
+	// is subnet-based.
+	Resolver string
+	// Addr and Prefix hold the ECS client subnet when ECS is set.
+	Addr   netip.Addr
+	Prefix uint8
+	ECS    bool
+}
+
+// ResolverKey keys tailoring by resolver identity.
+func ResolverKey(id string) ClientKey { return ClientKey{Resolver: id} }
+
+// ECSClientKey keys tailoring by the query's EDNS-Client-Subnet prefix.
+func ECSClientKey(e dnswire.ECS) ClientKey {
+	return ClientKey{Addr: e.Addr, Prefix: e.SourcePrefix, ECS: true}
+}
+
+// String renders the key for logs and diagnostics (allocates; not for the
+// serve path).
+func (k ClientKey) String() string {
+	if !k.ECS {
+		return k.Resolver
+	}
+	return k.Addr.String() + "/" + itoa(int(k.Prefix))
+}
+
 // Tailorer lets the Mapping Intelligence rewrite address answers per
 // querying client (the CDN/GTM behaviour of §3.2: "Akamai DNS changes the
 // IP address returned for a hostname, in response to the query's source IP
 // address or EDNS-Client-Subnet option").
 type Tailorer interface {
-	// TailorA returns the addresses to serve for qname to the given client
-	// key, or nil to use the zone's static records. ttl applies when
-	// addresses are returned.
-	TailorA(qname dnswire.Name, clientKey string) (addrs []netip.Addr, ttl uint32, ok bool)
+	// TailorA returns the addresses to serve for qname to the given client,
+	// or nil to use the zone's static records. ttl applies when addresses
+	// are returned.
+	TailorA(qname dnswire.Name, client ClientKey) (addrs []netip.Addr, ttl uint32, ok bool)
 }
 
 // Engine answers DNS queries from a zone store. It is pure protocol logic:
@@ -36,11 +68,11 @@ type Engine struct {
 // NewEngine wraps a store.
 func NewEngine(store *zone.Store) *Engine { return &Engine{Store: store} }
 
-// Answer produces the response for one query message. clientKey identifies
+// Answer produces the response for one query message. client identifies
 // the querying resolver (or its ECS subnet when present) for answer
 // tailoring. The crashed return simulates the process dying mid-query
 // (§4.2.4): the caller must treat the response as never sent.
-func (e *Engine) Answer(q *dnswire.Message, clientKey string) (resp *dnswire.Message, matchedZone dnswire.Name, crashed bool) {
+func (e *Engine) Answer(q *dnswire.Message, client ClientKey) (resp *dnswire.Message, matchedZone dnswire.Name, crashed bool) {
 	resp = dnswire.NewResponse(q)
 	if len(q.Questions) != 1 || q.OpCode != dnswire.OpQuery {
 		resp.RCode = dnswire.RCodeFormErr
@@ -56,7 +88,7 @@ func (e *Engine) Answer(q *dnswire.Message, clientKey string) (resp *dnswire.Mes
 		resp.Additional = append(resp.Additional, dnswire.NewOPT(1232))
 		if ecs, ok := opt.ClientSubnet(); ok {
 			// Prefer the ECS prefix as the tailoring key (end-user mapping).
-			clientKey = ecsKey(ecs)
+			client = ECSClientKey(ecs)
 			ro := resp.OPT()
 			ecs.ScopePrefix = ecs.SourcePrefix
 			_ = ro.SetClientSubnet(ecs)
@@ -74,11 +106,14 @@ func (e *Engine) Answer(q *dnswire.Message, clientKey string) (resp *dnswire.Mes
 	}
 	matchedZone = z.Origin()
 	resp.Authoritative = true
-	ans := z.Lookup(question.Name, question.Type)
+	// Serve from the compiled view: same algorithm as the locked Zone.Lookup
+	// (FuzzViewLookupParity holds them identical) with no lock acquisition
+	// and no per-record copies on the serve path.
+	ans := z.View().Lookup(question.Name, question.Type)
 	switch ans.Result {
 	case zone.Success:
 		resp.Answers = ans.Answer
-		e.applyTailoring(resp, question, clientKey)
+		e.applyTailoring(resp, question, client)
 	case zone.Delegation:
 		resp.Authoritative = false
 		resp.Authority = ans.NS
@@ -98,7 +133,7 @@ func (e *Engine) Answer(q *dnswire.Message, clientKey string) (resp *dnswire.Mes
 
 // applyTailoring replaces terminal A answers via the Tailorer when it has an
 // opinion about the final owner name of the answer chain.
-func (e *Engine) applyTailoring(resp *dnswire.Message, q dnswire.Question, clientKey string) {
+func (e *Engine) applyTailoring(resp *dnswire.Message, q dnswire.Question, client ClientKey) {
 	if e.Tailor == nil || (q.Type != dnswire.TypeA && q.Type != dnswire.TypeANY) {
 		return
 	}
@@ -109,7 +144,7 @@ func (e *Engine) applyTailoring(resp *dnswire.Message, q dnswire.Question, clien
 			owner = cn.Target
 		}
 	}
-	addrs, ttl, ok := e.Tailor.TailorA(owner, clientKey)
+	addrs, ttl, ok := e.Tailor.TailorA(owner, client)
 	if !ok {
 		return
 	}
@@ -128,10 +163,6 @@ func (e *Engine) applyTailoring(resp *dnswire.Message, q dnswire.Question, clien
 		})
 	}
 	resp.Answers = kept
-}
-
-func ecsKey(e dnswire.ECS) string {
-	return e.Addr.String() + "/" + itoa(int(e.SourcePrefix))
 }
 
 func itoa(v int) string {

@@ -34,7 +34,7 @@ func testStore(t *testing.T) *zone.Store {
 func TestEngineAnswerSuccess(t *testing.T) {
 	e := NewEngine(testStore(t))
 	q := dnswire.NewQuery(1, n("www.ex.com"), dnswire.TypeA)
-	resp, zn, crashed := e.Answer(q, "r1")
+	resp, zn, crashed := e.Answer(q, ResolverKey("r1"))
 	if crashed {
 		t.Fatal("crashed")
 	}
@@ -49,7 +49,7 @@ func TestEngineAnswerSuccess(t *testing.T) {
 func TestEngineAnswerNXDomain(t *testing.T) {
 	e := NewEngine(testStore(t))
 	q := dnswire.NewQuery(2, n("junk.ex.com"), dnswire.TypeA)
-	resp, _, _ := e.Answer(q, "r1")
+	resp, _, _ := e.Answer(q, ResolverKey("r1"))
 	if resp.RCode != dnswire.RCodeNXDomain {
 		t.Fatalf("rcode = %v", resp.RCode)
 	}
@@ -61,7 +61,7 @@ func TestEngineAnswerNXDomain(t *testing.T) {
 func TestEngineAnswerDelegation(t *testing.T) {
 	e := NewEngine(testStore(t))
 	q := dnswire.NewQuery(3, n("host.sub.ex.com"), dnswire.TypeA)
-	resp, _, _ := e.Answer(q, "r1")
+	resp, _, _ := e.Answer(q, ResolverKey("r1"))
 	if resp.Authoritative {
 		t.Fatal("referral marked authoritative")
 	}
@@ -73,7 +73,7 @@ func TestEngineAnswerDelegation(t *testing.T) {
 func TestEngineRefusesForeign(t *testing.T) {
 	e := NewEngine(testStore(t))
 	q := dnswire.NewQuery(4, n("www.other.net"), dnswire.TypeA)
-	resp, zn, _ := e.Answer(q, "r1")
+	resp, zn, _ := e.Answer(q, ResolverKey("r1"))
 	if resp.RCode != dnswire.RCodeRefused || !zn.IsZero() {
 		t.Fatalf("rcode = %v zone = %v", resp.RCode, zn)
 	}
@@ -83,13 +83,13 @@ func TestEngineFormErr(t *testing.T) {
 	e := NewEngine(testStore(t))
 	q := dnswire.NewQuery(5, n("www.ex.com"), dnswire.TypeA)
 	q.Questions = nil
-	resp, _, _ := e.Answer(q, "r1")
+	resp, _, _ := e.Answer(q, ResolverKey("r1"))
 	if resp.RCode != dnswire.RCodeFormErr {
 		t.Fatalf("rcode = %v", resp.RCode)
 	}
 	q2 := dnswire.NewQuery(6, n("www.ex.com"), dnswire.TypeA)
 	q2.OpCode = dnswire.OpUpdate
-	resp2, _, _ := e.Answer(q2, "r1")
+	resp2, _, _ := e.Answer(q2, ResolverKey("r1"))
 	if resp2.RCode != dnswire.RCodeFormErr {
 		t.Fatalf("non-query opcode rcode = %v", resp2.RCode)
 	}
@@ -98,7 +98,7 @@ func TestEngineFormErr(t *testing.T) {
 func TestEngineQoDTrap(t *testing.T) {
 	e := NewEngine(testStore(t))
 	q := dnswire.NewQuery(7, n(dnswire.QoDMarkerLabel+".ex.com"), dnswire.TypeA)
-	_, _, crashed := e.Answer(q, "r1")
+	_, _, crashed := e.Answer(q, ResolverKey("r1"))
 	if !crashed {
 		t.Fatal("QoD trap did not fire")
 	}
@@ -113,7 +113,7 @@ func TestEngineEDNSEcho(t *testing.T) {
 		t.Fatal(err)
 	}
 	q.Additional = append(q.Additional, opt)
-	resp, _, _ := e.Answer(q, "r1")
+	resp, _, _ := e.Answer(q, ResolverKey("r1"))
 	ro := resp.OPT()
 	if ro == nil {
 		t.Fatal("response missing OPT")
@@ -128,15 +128,15 @@ func TestEngineEDNSEcho(t *testing.T) {
 type fixedTailor struct {
 	name  dnswire.Name
 	addr  netip.Addr
-	byKey map[string]netip.Addr
+	byKey map[ClientKey]netip.Addr
 }
 
-func (f *fixedTailor) TailorA(qname dnswire.Name, clientKey string) ([]netip.Addr, uint32, bool) {
+func (f *fixedTailor) TailorA(qname dnswire.Name, client ClientKey) ([]netip.Addr, uint32, bool) {
 	if qname != f.name {
 		return nil, 0, false
 	}
 	if f.byKey != nil {
-		if a, ok := f.byKey[clientKey]; ok {
+		if a, ok := f.byKey[client]; ok {
 			return []netip.Addr{a}, 20, true
 		}
 	}
@@ -147,7 +147,7 @@ func TestEngineTailoring(t *testing.T) {
 	e := NewEngine(testStore(t))
 	e.Tailor = &fixedTailor{name: n("www.ex.com"), addr: netip.MustParseAddr("198.51.100.99")}
 	q := dnswire.NewQuery(9, n("www.ex.com"), dnswire.TypeA)
-	resp, _, _ := e.Answer(q, "r1")
+	resp, _, _ := e.Answer(q, ResolverKey("r1"))
 	if len(resp.Answers) != 1 {
 		t.Fatalf("answers = %d", len(resp.Answers))
 	}
@@ -161,7 +161,7 @@ func TestEngineTailoringFollowsCNAME(t *testing.T) {
 	e := NewEngine(testStore(t))
 	e.Tailor = &fixedTailor{name: n("www.edge.ex.com"), addr: netip.MustParseAddr("198.51.100.42")}
 	q := dnswire.NewQuery(10, n("cdn.ex.com"), dnswire.TypeA)
-	resp, _, _ := e.Answer(q, "r1")
+	resp, _, _ := e.Answer(q, ResolverKey("r1"))
 	// CNAME kept, A replaced.
 	var sawCNAME bool
 	var addr netip.Addr
@@ -183,8 +183,8 @@ func TestEngineTailoringECSKey(t *testing.T) {
 	ft := &fixedTailor{
 		name: n("www.ex.com"),
 		addr: netip.MustParseAddr("198.51.100.1"),
-		byKey: map[string]netip.Addr{
-			"203.0.113.0/24": netip.MustParseAddr("198.51.100.2"),
+		byKey: map[ClientKey]netip.Addr{
+			ECSClientKey(dnswire.ECS{Family: 1, SourcePrefix: 24, Addr: netip.MustParseAddr("203.0.113.0")}): netip.MustParseAddr("198.51.100.2"),
 		},
 	}
 	e.Tailor = ft
@@ -192,7 +192,7 @@ func TestEngineTailoringECSKey(t *testing.T) {
 	opt := dnswire.NewOPT(4096)
 	opt.SetClientSubnet(dnswire.ECS{Family: 1, SourcePrefix: 24, Addr: netip.MustParseAddr("203.0.113.0")})
 	q.Additional = append(q.Additional, opt)
-	resp, _, _ := e.Answer(q, "resolver-far-away")
+	resp, _, _ := e.Answer(q, ResolverKey("resolver-far-away"))
 	a := findA(resp)
 	if a == nil || a.Addr != netip.MustParseAddr("198.51.100.2") {
 		t.Fatalf("ECS-keyed answer = %v", a)

@@ -418,7 +418,7 @@ func (s *Server) processOne(now simtime.Time) {
 		return
 	}
 	req := it.Payload.(*Request)
-	resp, matchedZone, crashed := s.Engine.Answer(req.Msg, req.Resolver)
+	resp, matchedZone, crashed := s.Engine.Answer(req.Msg, ResolverKey(req.Resolver))
 	if crashed {
 		s.crash(now, req)
 	} else {

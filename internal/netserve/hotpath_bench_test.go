@@ -21,6 +21,21 @@ func benchServer(b *testing.B, hotCache int) *Server {
 	return New(cfg, nameserver.NewEngine(store), nil)
 }
 
+// benchDelegationZone adds a delegated child below the bench zone so
+// referral responses (NS + glue) can be measured.
+const benchDelegationZone = `
+$ORIGIN ex.test.
+$TTL 300
+@        IN SOA ns1 host ( 7 3600 600 604800 30 )
+@        IN NS ns1
+ns1      IN A 198.51.100.1
+www      IN A 192.0.2.1
+sub      IN NS ns1.sub
+sub      IN NS ns2.sub
+ns1.sub  IN A 203.0.113.1
+ns2.sub  IN A 203.0.113.2
+`
+
 var benchSrc = netip.MustParseAddrPort("127.0.0.1:5353")
 
 func benchHandle(b *testing.B, srv *Server, wire []byte) {
@@ -62,13 +77,69 @@ func BenchmarkHandleUDPEDNS(b *testing.B) {
 }
 
 // BenchmarkHandleUDPNoCache is the slow path every query took before the
-// hot cache existed: full decode, zone lookup, and pack per packet.
+// hot cache and compiled views existed: full decode, zone lookup, and pack
+// per packet (DisableViewServe keeps the view tier out of the way).
 func BenchmarkHandleUDPNoCache(b *testing.B) {
 	srv := benchServer(b, -1)
+	srv.Cfg.DisableViewServe = true
 	q := dnswire.NewQuery(1, dnswire.MustName("www.ex.test"), dnswire.TypeA)
 	wire, err := q.Pack()
 	if err != nil {
 		b.Fatal(err)
 	}
 	benchHandle(b, srv, wire)
+}
+
+// benchHandleUnique runs the handle path with a fresh qname every iteration
+// by rewriting the first label in place: the cache-busting shape of a
+// random-subdomain flood (§5.3, Fig 10), where every query is a miss by
+// construction. prefix is the mutable first label of the packed query; it
+// must be exactly 16 octets.
+func benchHandleUnique(b *testing.B, srv *Server, wire []byte, wantResp bool) {
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	label := wire[13 : 13+16] // 12-byte header + length octet
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := uint64(i)
+		for j := 0; j < 16; j++ {
+			label[j] = "0123456789abcdef"[v&0xF]
+			v >>= 4
+		}
+		out := srv.handlePacket(wire, benchSrc, false, sc)
+		if wantResp && out == nil {
+			b.Fatal("no response")
+		}
+	}
+}
+
+// uniqueQueryWire packs a query whose first label is a 16-octet placeholder
+// that benchHandleUnique rewrites per iteration.
+func uniqueQueryWire(b *testing.B, suffix string) []byte {
+	b.Helper()
+	q := dnswire.NewQuery(1, dnswire.MustName("aaaaaaaaaaaaaaaa."+suffix), dnswire.TypeA)
+	wire, err := q.Pack()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return wire
+}
+
+// BenchmarkHandleUDPMissNXDOMAIN measures the miss path under a random-
+// subdomain NXDOMAIN flood: every iteration queries a name that has never
+// been seen before, so the packed-response hot cache cannot help and the
+// cost is the full zone-routing + lookup + negative-answer assembly.
+func BenchmarkHandleUDPMissNXDOMAIN(b *testing.B) {
+	srv := benchServer(b, 0)
+	benchHandleUnique(b, srv, uniqueQueryWire(b, "ex.test"), true)
+}
+
+// BenchmarkHandleUDPDelegation measures referral assembly (NS + glue) for
+// unique names below a zone cut — also cache-busting by construction.
+func BenchmarkHandleUDPDelegation(b *testing.B) {
+	store := zone.NewStore()
+	store.Put(zone.MustParseMaster(benchDelegationZone, dnswire.MustName("ex.test")))
+	srv := New(DefaultConfig(), nameserver.NewEngine(store), nil)
+	benchHandleUnique(b, srv, uniqueQueryWire(b, "sub.ex.test"), true)
 }

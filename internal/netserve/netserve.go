@@ -49,6 +49,10 @@ type Config struct {
 	// HotCacheSize bounds the packed-response hot cache (0 = default size,
 	// negative disables the cache entirely).
 	HotCacheSize int
+	// DisableViewServe forces cache-miss queries through the full decode
+	// path instead of the compiled-view wire assembly. A differential
+	// debugging and benchmarking aid; leave false in production.
+	DisableViewServe bool
 	// Smax discards queries outright when the pipeline scores at or above
 	// it (0 disables scoring-based discard).
 	Smax float64
@@ -128,6 +132,9 @@ type Metrics struct {
 	Panics *obs.Counter
 	// QoDRefused counts queries refused pre-decode by the quarantine.
 	QoDRefused *obs.Counter
+	// ViewServed counts responses assembled straight from compiled zone
+	// views (the lock-free, allocation-free miss path).
+	ViewServed *obs.Counter
 	// TCPRejected counts connections closed at the TCP connection cap.
 	TCPRejected *obs.Counter
 }
@@ -205,7 +212,14 @@ func NewWithRegistry(cfg Config, eng *nameserver.Engine, pipeline *filters.Pipel
 		Transfers:    reg.Counter(obs.MetricTransfersTotal, "Zone transfers served (AXFR and IXFR)."),
 		WriteErrors:  reg.Counter(obs.MetricWriteErrorsTotal, "Response encode/write failures."),
 		DecodeErrors: reg.Counter(obs.MetricDecodeErrorsTotal, "Undecodable queries."),
+		ViewServed:   reg.Counter(obs.MetricViewServedTotal, "Responses assembled from compiled zone views."),
 	}
+	// Compiled-view health: rebuild counts are pulled from the store at
+	// scrape time (a rebuild storm shows up as these gauges racing).
+	reg.GaugeFunc(obs.MetricViewRebuildsTotal, "Compiled zone view rebuilds across hosted zones.",
+		func() float64 { return float64(eng.Store.ViewRebuilds()) })
+	reg.GaugeFunc(obs.MetricRouterRebuilds, "Lock-free zone router index rebuilds.",
+		func() float64 { return float64(eng.Store.RouterRebuilds()) })
 	s.Tracer = obs.NewTracer(reg, nil)
 	if pipeline != nil {
 		pipeline.Instrument(reg)
@@ -290,9 +304,12 @@ func (s *Server) resolverKey(a netip.Addr) string { return s.resolvers.key(a) }
 // key buffer. UDP read loops hold one for their lifetime; TCP connections
 // borrow one from the pool.
 type scratch struct {
-	q      dnswire.Message
-	out    []byte
-	key    []byte
+	q   dnswire.Message
+	out []byte
+	key []byte
+	// vq holds the case-folded wire-form qname for the compiled-view path
+	// (kept separate from key, which may carry a live cache-insert key).
+	vq     []byte
 	insert cacheIntent
 	// journal is the worker's crash journal, built lazily on the first
 	// protected packet and kept for the scratch's lifetime.
@@ -312,7 +329,11 @@ type cacheIntent struct {
 }
 
 var scratchPool = sync.Pool{New: func() any {
-	return &scratch{out: make([]byte, 0, 4096), key: make([]byte, 0, 512)}
+	return &scratch{
+		out: make([]byte, 0, 4096),
+		key: make([]byte, 0, 512),
+		vq:  make([]byte, 0, 256),
+	}
 }}
 
 // bufPool holds the 64 KiB UDP read buffers.
@@ -543,16 +564,21 @@ func (s *Server) handlePacket(wire []byte, src netip.AddrPort, tcp bool, sc *scr
 	return resp
 }
 
-// dispatch is the unguarded serving pipeline: the UDP hot path first
-// (packed-response cache behind an allocation-free query parse), then the
-// full decode/score/answer/encode slow path, shedding per the degradation
-// level on the way.
+// dispatch is the unguarded serving pipeline, a ladder of progressively
+// more expensive tiers: the packed-response hot cache (exact repeats), the
+// compiled-view wire assembly (any canonical-shape query, including
+// cache-busting misses), then the full decode/score/answer/encode slow
+// path — shedding per the degradation level on the way. The canonical-shape
+// query parse happens once and feeds every tier.
 func (s *Server) dispatch(wire []byte, src netip.AddrPort, tcp bool, sc *scratch, level int) []byte {
-	if !tcp && s.hot != nil && s.Engine.Tailor == nil && !s.Cfg.RequireCookies {
-		if v, ok := dnswire.ParseQueryView(wire); ok {
-			if out, done := s.handleFast(wire, v, src, sc); done {
-				return out
-			}
+	var v dnswire.QueryView
+	viewOK := false
+	if !tcp {
+		v, viewOK = dnswire.ParseQueryView(wire)
+	}
+	if viewOK && s.hot != nil && s.Engine.Tailor == nil && !s.Cfg.RequireCookies {
+		if out, done := s.handleFast(wire, v, src, sc); done {
+			return out
 		}
 	}
 	if level >= qod.LevelDegraded && s.Pipeline != nil &&
@@ -562,13 +588,22 @@ func (s *Server) dispatch(wire []byte, src netip.AddrPort, tcp bool, sc *scratch
 		// this cheap wire-level REFUSED.
 		s.shed[qod.LevelDegraded].Add(1)
 		sc.insert = cacheIntent{}
-		if v, ok := dnswire.ParseQueryView(wire); ok {
+		if viewOK {
 			if out := refusedFor(wire, v.QnameLen+4, sc.out[:0]); out != nil {
 				sc.out = out
 				return out
 			}
 		}
 		return nil
+	}
+	// Cookie-bearing queries bail inside handleView (v.HasCookie); with
+	// RequireCookies every cookie-less UDP query must reach the slow path's
+	// refuse-with-cookie, so the whole tier is skipped.
+	if viewOK && !s.Cfg.DisableViewServe && s.Engine.Tailor == nil &&
+		!s.Cfg.RequireCookies {
+		if out, done := s.handleView(wire, v, src, sc, level); done {
+			return out
+		}
 	}
 	return s.handleSlow(wire, src, tcp, sc, level)
 }
@@ -793,7 +828,7 @@ func (s *Server) handleSlow(wire []byte, src netip.AddrPort, tcp bool, sc *scrat
 	if srcKey == "" {
 		srcKey = s.resolverKey(src.Addr())
 	}
-	resp, matched, crashed := s.Engine.Answer(q, srcKey)
+	resp, matched, crashed := s.Engine.Answer(q, nameserver.ResolverKey(srcKey))
 	span.Mark(obs.StageLookup)
 	if !crashed && s.Cfg.Cookies && clientCookie != nil {
 		if ro := resp.OPT(); ro != nil {
@@ -866,9 +901,9 @@ func formErrFor(wire, out []byte) []byte {
 	}
 	out = append(out,
 		wire[0], wire[1], // ID
-		0x80|wire[2]&0x79, // QR=1, opcode and RD echoed, AA/TC clear
+		0x80|wire[2]&0x79,          // QR=1, opcode and RD echoed, AA/TC clear
 		byte(dnswire.RCodeFormErr), // RA/Z clear, RCODE=FORMERR
-		0, 0, 0, 0, 0, 0, 0, 0) // zero section counts
+		0, 0, 0, 0, 0, 0, 0, 0)     // zero section counts
 	return out
 }
 

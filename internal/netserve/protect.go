@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"akamaidns/internal/dnswire"
+	"akamaidns/internal/nameserver"
 	"akamaidns/internal/obs"
 	"akamaidns/internal/qod"
 )
@@ -194,7 +195,7 @@ func replayMessage(s *Server, q *dnswire.Message) (crashed bool) {
 			crashed = true
 		}
 	}()
-	_, _, crashed = s.Engine.Answer(q, "qod-replay")
+	_, _, crashed = s.Engine.Answer(q, nameserver.ResolverKey("qod-replay"))
 	return crashed
 }
 
@@ -209,9 +210,9 @@ func refusedFor(wire []byte, qlen int, out []byte) []byte {
 	}
 	out = append(out,
 		wire[0], wire[1], // ID
-		0x80|wire[2]&0x79,             // QR=1, opcode and RD echoed, AA/TC clear
-		byte(dnswire.RCodeRefused),    // RA/Z clear, RCODE=REFUSED
-		0, 1, 0, 0, 0, 0, 0, 0)       // one question, nothing else
+		0x80|wire[2]&0x79,          // QR=1, opcode and RD echoed, AA/TC clear
+		byte(dnswire.RCodeRefused), // RA/Z clear, RCODE=REFUSED
+		0, 1, 0, 0, 0, 0, 0, 0)     // one question, nothing else
 	return append(out, wire[12:12+qlen]...)
 }
 

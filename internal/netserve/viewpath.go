@@ -1,0 +1,216 @@
+package netserve
+
+// This file is the compiled-view serving path: the middle tier between the
+// packed-response hot cache (exact repeats) and the full decode pipeline.
+// It answers any well-formed, non-client-specific UDP query — including the
+// random-subdomain NXDOMAIN floods and delegation walks that are hot-cache
+// misses by construction — by appending pre-packed RRset bytes from the
+// zone's immutable View straight into the response buffer: no locks, no
+// message decode, no per-query allocations.
+
+import (
+	"bytes"
+	"net/netip"
+
+	"akamaidns/internal/dnswire"
+	"akamaidns/internal/filters"
+	"akamaidns/internal/nameserver"
+	"akamaidns/internal/obs"
+	"akamaidns/internal/qod"
+	"akamaidns/internal/queue"
+	"akamaidns/internal/zone"
+)
+
+// qodMarkerWire is the crash-trap label in wire-comparable form. Matching
+// raw folded qname bytes can false-positive (a length octet masquerading as
+// a marker character) but never false-negative — the marker contains no
+// dots, so a text match is always contiguous within one label. A false
+// positive merely routes the query to the slow path.
+var qodMarkerWire = []byte(dnswire.QoDMarkerLabel)
+
+// optEcho is the engine's fixed EDNS echo — NewOPT(1232) — in wire form:
+// root owner, TYPE=OPT, CLASS=1232, zero TTL and RDLENGTH.
+var optEcho = []byte{0, 0, 0x29, 0x04, 0xD0, 0, 0, 0, 0, 0, 0}
+
+// handleView serves one UDP query from the matched zone's compiled view.
+// It reports done=false when the query needs the decode path: ineligible
+// (client-specific answer, unusual shape, crash-trap name), no compiled
+// wire available, or a response too large for the client's payload limit
+// (the decode path owns truncation). The fast-path cache intent in sc is
+// consumed when a response is produced, so bounded-name answers still
+// populate the hot cache while random-subdomain misses never do.
+func (s *Server) handleView(wire []byte, v dnswire.QueryView, src netip.AddrPort, sc *scratch, level int) ([]byte, bool) {
+	if v.Response() {
+		sc.insert = cacheIntent{}
+		return nil, true // QR-bit filtering, same as the other tiers
+	}
+	if v.OpCode() != dnswire.OpQuery || v.QClass != dnswire.ClassINET {
+		return nil, false
+	}
+	switch v.QType {
+	case dnswire.TypeAXFR, dnswire.TypeIXFR, dnswire.TypeANY:
+		return nil, false
+	}
+	if v.HasECS || v.HasCookie {
+		// Client-specific answers (ECS tailoring, cookie echo) are the
+		// decode path's business.
+		return nil, false
+	}
+	qfold, ok := v.AppendQnameFolded(sc.vq[:0], wire)
+	sc.vq = qfold[:0]
+	if !ok {
+		// A label byte the name parser would reject: let the decode path
+		// produce its FORMERR handling.
+		return nil, false
+	}
+	if bytes.Contains(qfold, qodMarkerWire) {
+		// Crash-trap names must reach the engine inside the containment
+		// boundary so quarantine and journaling see them.
+		return nil, false
+	}
+	span := s.Tracer.Begin()
+	span.Mark(obs.StageReceive)
+	span.Mark(obs.StageCookie)
+	z, _, found := s.Engine.Store.FindWire(qfold)
+	// Pipeline parity: view-served queries score and pass ladder admission
+	// exactly like decode-path ones. Building the filters.Query costs the
+	// one Name allocation; without a pipeline the path stays allocation-free.
+	if s.Pipeline != nil && s.Cfg.Smax > 0 {
+		name, okN := dnswire.NameFromFoldedWire(qfold)
+		if !okN {
+			return nil, false
+		}
+		fq := filters.Query{
+			Resolver: s.resolverKey(src.Addr()),
+			Name:     name,
+			Type:     v.QType,
+			IPTTL:    64,
+			Now:      s.now(),
+		}
+		if found {
+			fq.Zone = z.Origin()
+		}
+		score, _ := s.Pipeline.Score(&fq)
+		span.Mark(obs.StageScore)
+		if s.admission != nil {
+			switch s.admission.Admit(score) {
+			case queue.Discarded:
+				s.Metrics.Discarded.Add(1)
+				sc.insert = cacheIntent{}
+				return nil, true
+			case queue.TailDropped:
+				s.Metrics.TailDropped.Add(1)
+				sc.insert = cacheIntent{}
+				return nil, true
+			}
+			if level >= qod.LevelCleanOnly && s.admission.Rung(score) > 0 {
+				s.shed[qod.LevelCleanOnly].Add(1)
+				sc.insert = cacheIntent{}
+				out := refusedFor(wire, v.QnameLen+4, sc.out[:0])
+				if out != nil {
+					sc.out = out
+				}
+				return out, true
+			}
+		} else if score >= s.Cfg.Smax {
+			s.Metrics.Discarded.Add(1)
+			sc.insert = cacheIntent{}
+			return nil, true
+		}
+		span.Mark(obs.StageQueue)
+	}
+	if !found {
+		sc.insert = cacheIntent{}
+		out := viewRefused(wire, v, sc.out[:0])
+		sc.out = out
+		span.Mark(obs.StageLookup)
+		span.Mark(obs.StageWrite)
+		span.End()
+		s.Metrics.ViewServed.Add(1)
+		return out, true
+	}
+	view := z.View()
+	// Header + question echo: ID, QR|RD, counts patched below; the question
+	// is replayed raw so 0x20 mixed-case spelling round-trips, and the
+	// answer owners point into it (case-insensitively equal to the folded
+	// bytes the lookup matched on).
+	out := append(sc.out[:0],
+		wire[0], wire[1],
+		0x80|wire[2]&0x01, 0,
+		0, 1, 0, 0, 0, 0, 0, 0)
+	out = append(out, wire[12:12+v.QnameLen+4]...)
+	out, wa, okA := view.AppendAnswer(out, qfold, 12, v.QType)
+	if !okA {
+		// View has no pre-packed wire (exotic record) — decode path.
+		sc.out = out[:0]
+		return nil, false
+	}
+	aa := byte(0x04)
+	var rcode dnswire.RCode
+	switch wa.Result {
+	case zone.Delegation:
+		aa = 0
+	case zone.NXDomain:
+		rcode = dnswire.RCodeNXDomain
+	}
+	out[2] |= aa
+	out[3] = byte(rcode)
+	ar := wa.Additional
+	if v.HasOPT {
+		out = append(out, optEcho...)
+		ar++
+	}
+	out[6], out[7] = byte(wa.Answer>>8), byte(wa.Answer)
+	out[8], out[9] = byte(wa.Authority>>8), byte(wa.Authority)
+	out[10], out[11] = byte(ar>>8), byte(ar)
+	limit := dnswire.MaxUDPPayload
+	if v.HasOPT && int(v.UDPSize) > limit {
+		limit = int(v.UDPSize)
+	}
+	if len(out) > limit {
+		// Oversize: the decode path owns truncation and TC signaling.
+		sc.out = out[:0]
+		return nil, false
+	}
+	sc.out = out
+	intent := sc.insert
+	sc.insert = cacheIntent{}
+	// Populate the hot cache only for names that exist in the zone
+	// (wa.Cacheable): the key space is bounded by zone contents, so repeat
+	// queries graduate to the packed-response tier while random-subdomain
+	// floods never insert (and never allocate).
+	if intent.active && wa.Cacheable && s.hot != nil && len(out) <= intent.floor {
+		s.hot.Insert(sc.key, &nameserver.HotEntry{
+			Wire:     append([]byte(nil), out...),
+			QnameLen: intent.qnameLen,
+			Name:     wa.Name,
+			Zone:     view.Origin(),
+			RCode:    rcode,
+		}, intent.gen)
+	}
+	span.Mark(obs.StageLookup)
+	span.Mark(obs.StageWrite)
+	span.End()
+	s.Metrics.ViewServed.Add(1)
+	return out, true
+}
+
+// viewRefused builds the REFUSED response for a query outside every hosted
+// zone, matching the engine's shape: question echoed, OPT echoed when the
+// query carried one, AA clear.
+func viewRefused(wire []byte, v dnswire.QueryView, out []byte) []byte {
+	ar := byte(0)
+	if v.HasOPT {
+		ar = 1
+	}
+	out = append(out,
+		wire[0], wire[1],
+		0x80|wire[2]&0x01,
+		byte(dnswire.RCodeRefused),
+		0, 1, 0, 0, 0, 0, 0, ar)
+	out = append(out, wire[12:12+v.QnameLen+4]...)
+	if v.HasOPT {
+		out = append(out, optEcho...)
+	}
+	return out
+}

@@ -30,9 +30,9 @@ package obs
 // histograms.
 const (
 	// Socket/simulated server counters.
-	MetricQueriesTotal      = "akamaidns_server_queries_total"       // label: transport
-	MetricReceivedTotal     = "akamaidns_server_received_total"      // simulated ingress
-	MetricAnsweredTotal     = "akamaidns_server_answered_total"      //
+	MetricQueriesTotal      = "akamaidns_server_queries_total"  // label: transport
+	MetricReceivedTotal     = "akamaidns_server_received_total" // simulated ingress
+	MetricAnsweredTotal     = "akamaidns_server_answered_total" //
 	MetricAnsweredLegit     = "akamaidns_server_answered_legit_total"
 	MetricReceivedLegit     = "akamaidns_server_received_legit_total"
 	MetricNXDomainTotal     = "akamaidns_server_nxdomain_total"
@@ -69,6 +69,11 @@ const (
 	MetricQueueEnqueuedTotal    = "akamaidns_queue_enqueued_total"
 	MetricQueueDiscardedTotal   = "akamaidns_queue_discarded_total"
 	MetricQueueTailDroppedTotal = "akamaidns_queue_taildropped_total"
+
+	// Compiled zone views (RCU read path).
+	MetricViewServedTotal   = "akamaidns_server_view_served_total"
+	MetricViewRebuildsTotal = "akamaidns_zone_view_rebuilds_total"
+	MetricRouterRebuilds    = "akamaidns_zone_router_rebuilds_total"
 
 	// Packed-response hot cache.
 	MetricHotCacheHitsTotal      = "akamaidns_hotcache_hits_total"

@@ -59,7 +59,7 @@ func BuildMachine(sched *simtime.Scheduler, spec MachineSpec, store *zone.Store,
 func ProbeZones(eng *nameserver.Engine) error {
 	for _, origin := range eng.Store.Origins() {
 		q := newProbeQuery(origin)
-		resp, _, crashed := eng.Answer(q, "health-probe")
+		resp, _, crashed := eng.Answer(q, nameserver.ResolverKey("health-probe"))
 		if crashed {
 			return errProbe{origin.String() + ": crash"}
 		}

@@ -39,7 +39,7 @@ func (tr *engineTransport) Send(now simtime.Time, server string, q *dnswire.Mess
 		d = 10 * time.Millisecond
 	}
 	tr.sched.After(2*d, func(t simtime.Time) {
-		resp, _, crashed := eng.Answer(q, "resolver")
+		resp, _, crashed := eng.Answer(q, nameserver.ResolverKey("resolver"))
 		if !crashed {
 			done(t, resp)
 		}

@@ -32,3 +32,56 @@ func FuzzParseMaster(f *testing.F) {
 		_ = z.Cuts()
 	})
 }
+
+// FuzzViewLookupParity holds the central differential invariant of the
+// compiled read path: for any zone the parser accepts and any (qname,
+// qtype), the lock-free View must answer exactly like the locked reference
+// lookup — structured results record for record, and the zero-alloc wire
+// assembly section for section once decoded.
+func FuzzViewLookupParity(f *testing.F) {
+	f.Add(exampleZone, "www.example.com", uint16(dnswire.TypeA))
+	f.Add(exampleZone, "a.wild.example.com", uint16(dnswire.TypeA))
+	f.Add(exampleZone, "chain.example.com", uint16(dnswire.TypeAAAA))
+	f.Add(exampleZone, "www.sub.example.com", uint16(dnswire.TypeMX))
+	f.Add(exampleZone, "no.such.example.com", uint16(dnswire.TypeTXT))
+	f.Add("$ORIGIN fuzz.test.\n@ IN SOA ns1 host ( 1 2 3 4 5 )\n*.a IN CNAME b.a\nb.a IN CNAME c\n", "x.a.fuzz.test", uint16(dnswire.TypeA))
+	f.Fuzz(func(t *testing.T, text, qname string, qt uint16) {
+		z, err := ParseMaster(strings.NewReader(text), dnswire.MustName("fuzz.test"))
+		if err != nil {
+			return
+		}
+		name, err := dnswire.ParseName(qname)
+		if err != nil {
+			return
+		}
+		typ := dnswire.Type(qt)
+		want := z.Lookup(name, typ)
+		v := z.View()
+		got := v.Lookup(name, typ)
+		if diff := answersEqual(got, want); diff != "" {
+			t.Fatalf("view parity %s %v: %s", name, typ, diff)
+		}
+		if typ == dnswire.TypeANY || !name.IsSubdomainOf(v.Origin()) {
+			return
+		}
+		msg, wa, ok := appendAnswerMessage(t, v, name, typ)
+		if !ok {
+			// The wire path may decline (unpackable record); structured
+			// parity above already held.
+			return
+		}
+		if wa.Result != want.Result {
+			t.Fatalf("wire parity %s %v: result %v, want %v", name, typ, wa.Result, want.Result)
+		}
+		wantAns, wantAuth, wantAdd := wireExpect(want)
+		if got, want := rrStrings(msg.Answers), rrStrings(wantAns); !eqStrings(got, want) {
+			t.Fatalf("wire parity %s %v: answers %v, want %v", name, typ, got, want)
+		}
+		if got, want := rrStrings(msg.Authority), rrStrings(wantAuth); !eqStrings(got, want) {
+			t.Fatalf("wire parity %s %v: authority %v, want %v", name, typ, got, want)
+		}
+		if got, want := rrStrings(msg.Additional), rrStrings(wantAdd); !eqStrings(got, want) {
+			t.Fatalf("wire parity %s %v: additional %v, want %v", name, typ, got, want)
+		}
+	})
+}

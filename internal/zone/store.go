@@ -2,6 +2,7 @@ package zone
 
 import (
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -18,11 +19,56 @@ type Store struct {
 	// bump). Caches keyed on store contents compare generations instead of
 	// subscribing to individual zones.
 	gen atomic.Uint64
+	// router is the immutable longest-match index rebuilt on zone
+	// install/remove, so Find/FindWire take no locks on the serve path.
+	router         atomic.Pointer[routerView]
+	routerRebuilds atomic.Uint64
+}
+
+// routerView indexes the installed zones by origin, once by canonical text
+// and once by wire-form bytes, so longest-match routing is one map probe per
+// stripped label with zero locks.
+type routerView struct {
+	byText map[string]*Zone
+	byWire map[string]*Zone
+}
+
+// rebuildRouterLocked publishes a fresh router snapshot; callers hold s.mu.
+func (s *Store) rebuildRouterLocked() {
+	r := &routerView{
+		byText: make(map[string]*Zone, len(s.zones)),
+		byWire: make(map[string]*Zone, len(s.zones)),
+	}
+	for o, z := range s.zones {
+		r.byText[o.String()] = z
+		r.byWire[string(o.AppendWire(nil))] = z
+	}
+	s.router.Store(r)
+	s.routerRebuilds.Add(1)
+}
+
+// RouterRebuilds reports how many times the routing index has been rebuilt.
+func (s *Store) RouterRebuilds() uint64 { return s.routerRebuilds.Load() }
+
+// ViewRebuilds sums the compiled-view rebuild counts across installed zones
+// (an observability scrape, not a hot path).
+func (s *Store) ViewRebuilds() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var n uint64
+	for _, z := range s.zones {
+		n += z.ViewRebuilds()
+	}
+	return n
 }
 
 // NewStore returns an empty zone store.
 func NewStore() *Store {
-	return &Store{zones: make(map[dnswire.Name]*Zone)}
+	s := &Store{zones: make(map[dnswire.Name]*Zone)}
+	s.mu.Lock()
+	s.rebuildRouterLocked()
+	s.mu.Unlock()
+	return s
 }
 
 // Gen returns the store's change generation (see Store.gen). A cached
@@ -37,6 +83,7 @@ func (s *Store) Put(z *Zone) {
 	z.setChangeHook(s.bump)
 	s.mu.Lock()
 	s.zones[z.Origin()] = z
+	s.rebuildRouterLocked()
 	s.mu.Unlock()
 	s.bump()
 }
@@ -48,6 +95,7 @@ func (s *Store) Delete(origin dnswire.Name) bool {
 	z, ok := s.zones[origin]
 	if ok {
 		delete(s.zones, origin)
+		s.rebuildRouterLocked()
 	}
 	s.mu.Unlock()
 	if !ok {
@@ -66,18 +114,52 @@ func (s *Store) Get(origin dnswire.Name) *Zone {
 }
 
 // Find returns the zone with the longest origin that is an ancestor of (or
-// equal to) name, or nil when the server is not authoritative for name.
+// equal to) name, or nil when the server is not authoritative for name. It
+// walks the name's suffixes against the lock-free router index, so cost is
+// O(labels) regardless of how many zones are installed.
 func (s *Store) Find(name dnswire.Name) *Zone {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	var best *Zone
-	bestLabels := -1
-	for origin, z := range s.zones {
-		if name.IsSubdomainOf(origin) && origin.NumLabels() > bestLabels {
-			best, bestLabels = z, origin.NumLabels()
-		}
+	if name.IsZero() {
+		return nil
 	}
-	return best
+	r := s.router.Load()
+	t := name.String()
+	for t != "" {
+		if z := r.byText[t]; z != nil {
+			return z
+		}
+		i := strings.IndexByte(t, '.')
+		if i < 0 {
+			break
+		}
+		if i == len(t)-1 {
+			// Last label stripped: the remaining suffix is the root ".".
+			t = "."
+			if z := r.byText[t]; z != nil {
+				return z
+			}
+			break
+		}
+		t = t[i+1:]
+	}
+	return nil
+}
+
+// FindWire is Find for a folded wire-form query name: it returns the
+// longest-match zone plus the byte offset within qname where that zone's
+// origin starts (so the caller can point record owners at the origin bytes
+// already present in the question). Lock-free and allocation-free.
+func (s *Store) FindWire(qname []byte) (*Zone, int, bool) {
+	r := s.router.Load()
+	for o := 0; o < len(qname); {
+		if z := r.byWire[string(qname[o:])]; z != nil {
+			return z, o, true
+		}
+		if qname[o] == 0 {
+			break
+		}
+		o += 1 + int(qname[o])
+	}
+	return nil, 0, false
 }
 
 // Origins lists the zone origins in canonical order.

@@ -1,0 +1,44 @@
+package zone
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+
+	"akamaidns/internal/dnswire"
+)
+
+func mustAddr(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+// benchStoreFind measures longest-match zone routing across a store of n
+// zones — the per-query cost that fronts every lookup, hit or miss.
+func benchStoreFind(b *testing.B, n int) {
+	s := NewStore()
+	for i := 0; i < n; i++ {
+		z := New(dnswire.MustName(fmt.Sprintf("zone%03d.example.", i)))
+		if err := z.Add(&dnswire.A{RRHeader: dnswire.RRHeader{
+			Name: dnswire.MustName(fmt.Sprintf("www.zone%03d.example.", i)),
+			Type: dnswire.TypeA, Class: dnswire.ClassINET, TTL: 300,
+		}, Addr: mustAddr("192.0.2.1")}); err != nil {
+			b.Fatal(err)
+		}
+		s.Put(z)
+	}
+	// A deep name in the last-installed zone plus a miss outside every zone:
+	// both shapes must route in O(labels), not O(zones).
+	hit := dnswire.MustName(fmt.Sprintf("a.b.c.www.zone%03d.example.", n-1))
+	miss := dnswire.MustName("a.b.c.unrelated.invalid.")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.Find(hit) == nil {
+			b.Fatal("no zone for hit name")
+		}
+		if s.Find(miss) != nil {
+			b.Fatal("zone for miss name")
+		}
+	}
+}
+
+func BenchmarkStoreFind8Zones(b *testing.B)   { benchStoreFind(b, 8) }
+func BenchmarkStoreFind256Zones(b *testing.B) { benchStoreFind(b, 256) }

@@ -1,0 +1,552 @@
+package zone
+
+// This file is the compiled read path: an immutable per-zone View rebuilt
+// copy-on-write on any mutation and published through an atomic pointer, so
+// lookups — including the random-subdomain NXDOMAIN floods of §5.3 that are
+// cache-busting by construction — run with no locks, no RR deep copies, and
+// (on the wire path) no allocations. The locked Zone.Lookup remains the
+// reference implementation; FuzzViewLookupParity holds the two to identical
+// answers.
+
+import (
+	"bytes"
+	"sort"
+
+	"akamaidns/internal/dnswire"
+)
+
+// View is an immutable compiled snapshot of one zone. All fields — including
+// every RR reachable through it — are frozen at compile time: readers share
+// them freely, and mutators never touch a published View (they invalidate the
+// zone's pointer and the next reader compiles a fresh one).
+type View struct {
+	origin       dnswire.Name
+	originWire   []byte
+	originLabels int
+	serial       uint32
+
+	// soa is the apex SOA for negative answers; soaBody its pre-packed
+	// owner-less wire form (nil when the zone has no SOA).
+	soa     *dnswire.SOA
+	soaBody []byte
+
+	// byName and byWire index the same nodes (every owner name, empty
+	// non-terminals included) by canonical text and by folded wire bytes, so
+	// both the structured and the zero-alloc wire lookup are one map probe.
+	byName map[dnswire.Name]*viewNode
+	byWire map[string]*viewNode
+
+	// cutsByName / cutsByWire hold the precompiled delegation points
+	// (non-apex NS owners) with their referral wire and glue.
+	cutsByName map[dnswire.Name]*viewCut
+	cutsByWire map[string]*viewCut
+
+	hasWildcard bool
+	// wireOK gates the wire path; a record that cannot be pre-packed (never
+	// expected in practice) downgrades the view to structured-only.
+	wireOK bool
+}
+
+// viewNode is one owner name with its compiled RRsets.
+type viewNode struct {
+	name dnswire.Name
+	sets map[dnswire.Type]*viewRRset
+	// anyRRs is the deterministic ANY answer: every set at the node, ordered
+	// by type then insertion order.
+	anyRRs []dnswire.RR
+	// wildcard links to the "*.<name>" node when one exists, so wildcard
+	// synthesis is a pointer chase instead of a name construction.
+	wildcard *viewNode
+}
+
+// viewRRset is a compiled RRset: the records themselves (shared, immutable)
+// plus each record's pre-packed owner-less wire body (TYPE CLASS TTL RDLEN
+// RDATA, names uncompressed so the bytes are position-independent).
+type viewRRset struct {
+	rrs    []dnswire.RR
+	bodies [][]byte
+}
+
+// viewCut is a precompiled delegation point.
+type viewCut struct {
+	name dnswire.Name
+	ns   *viewRRset
+	// glueRRs are the in-zone A/AAAA records for the NS targets, in the
+	// legacy glue order; glueWire is the same records fully packed (literal
+	// owners, position-independent).
+	glueRRs   []dnswire.RR
+	glueWire  []byte
+	glueCount int
+}
+
+// Origin returns the compiled zone's apex.
+func (v *View) Origin() dnswire.Name { return v.origin }
+
+// Serial returns the SOA serial frozen into the view.
+func (v *View) Serial() uint32 { return v.serial }
+
+// View returns the zone's compiled snapshot, building it on first use after
+// a mutation. Publication is race-free: mutators invalidate under the write
+// lock, compilation happens under the read lock, so a compiled view can
+// never overwrite a later invalidation.
+func (z *Zone) View() *View {
+	if v := z.view.Load(); v != nil {
+		return v
+	}
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	if v := z.view.Load(); v != nil {
+		return v
+	}
+	v := z.compileViewLocked()
+	z.viewRebuilds.Add(1)
+	z.view.Store(v)
+	return v
+}
+
+// ViewRebuilds reports how many times the zone's view has been compiled.
+func (z *Zone) ViewRebuilds() uint64 { return z.viewRebuilds.Load() }
+
+// compileViewLocked builds the snapshot from the live maps; z.mu held (read
+// suffices — mutators hold it exclusively).
+func (z *Zone) compileViewLocked() *View {
+	v := &View{
+		origin:       z.origin,
+		originWire:   z.origin.AppendWire(nil),
+		originLabels: z.origin.NumLabels(),
+		serial:       z.serial,
+		byName:       make(map[dnswire.Name]*viewNode, len(z.names)),
+		byWire:       make(map[string]*viewNode, len(z.names)),
+		wireOK:       true,
+	}
+	node := func(n dnswire.Name) *viewNode {
+		if nd := v.byName[n]; nd != nil {
+			return nd
+		}
+		nd := &viewNode{name: n}
+		v.byName[n] = nd
+		v.byWire[string(n.AppendWire(nil))] = nd
+		return nd
+	}
+	for n := range z.names {
+		node(n)
+	}
+	for k, rrs := range z.sets {
+		nd := node(k.name)
+		set := &viewRRset{rrs: copyRRs(rrs), bodies: make([][]byte, 0, len(rrs))}
+		for _, rr := range set.rrs {
+			body, err := dnswire.AppendRRBody(nil, rr)
+			if err != nil {
+				v.wireOK = false
+				break
+			}
+			set.bodies = append(set.bodies, body)
+		}
+		if nd.sets == nil {
+			nd.sets = make(map[dnswire.Type]*viewRRset)
+		}
+		nd.sets[k.typ] = set
+	}
+	for n, nd := range v.byName {
+		if n.IsWildcard() {
+			if parent := v.byName[n.Parent()]; parent != nil {
+				parent.wildcard = nd
+				v.hasWildcard = true
+			}
+		}
+		if len(nd.sets) == 0 {
+			continue
+		}
+		types := make([]dnswire.Type, 0, len(nd.sets))
+		for t := range nd.sets {
+			types = append(types, t)
+		}
+		sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+		for _, t := range types {
+			nd.anyRRs = append(nd.anyRRs, nd.sets[t].rrs...)
+		}
+	}
+	// Delegation points: non-apex NS sets, with glue resolved against the
+	// compiled sets so the records stay shared.
+	for k := range z.sets {
+		if k.typ != dnswire.TypeNS || k.name == z.origin {
+			continue
+		}
+		nsSet := v.byName[k.name].sets[dnswire.TypeNS]
+		cut := &viewCut{name: k.name, ns: nsSet}
+		for _, rr := range nsSet.rrs {
+			ns, ok := rr.(*dnswire.NS)
+			if !ok || !ns.Target.IsSubdomainOf(z.origin) {
+				continue
+			}
+			tn := v.byName[ns.Target]
+			if tn == nil {
+				continue
+			}
+			for _, t := range []dnswire.Type{dnswire.TypeA, dnswire.TypeAAAA} {
+				gs := tn.sets[t]
+				if gs == nil {
+					continue
+				}
+				cut.glueRRs = append(cut.glueRRs, gs.rrs...)
+				for _, g := range gs.rrs {
+					gw, err := dnswire.AppendRR(cut.glueWire, g)
+					if err != nil {
+						v.wireOK = false
+						break
+					}
+					cut.glueWire = gw
+				}
+			}
+		}
+		cut.glueCount = len(cut.glueRRs)
+		if v.cutsByName == nil {
+			v.cutsByName = make(map[dnswire.Name]*viewCut)
+			v.cutsByWire = make(map[string]*viewCut)
+		}
+		v.cutsByName[k.name] = cut
+		v.cutsByWire[string(k.name.AppendWire(nil))] = cut
+	}
+	if apex := v.byName[z.origin]; apex != nil {
+		if ss := apex.sets[dnswire.TypeSOA]; ss != nil {
+			if soa, ok := ss.rrs[0].(*dnswire.SOA); ok {
+				v.soa = soa
+				if body, err := dnswire.AppendRRBody(nil, soa); err == nil {
+					v.soaBody = body
+				} else {
+					v.wireOK = false
+				}
+			}
+		}
+	}
+	return v
+}
+
+// Lookup is the structured read off the compiled view: the same algorithm
+// and results as the locked Zone.Lookup, but with no lock and no RR copies —
+// returned records are shared with the view and must be treated as
+// read-only (wildcard-synthesized records are fresh copies, as their owner
+// is rewritten).
+func (v *View) Lookup(qname dnswire.Name, qtype dnswire.Type) Answer {
+	if !qname.IsSubdomainOf(v.origin) {
+		return Answer{Result: NXDomain}
+	}
+	var ans Answer
+	name := qname
+	for hop := 0; ; hop++ {
+		if len(v.cutsByName) > 0 {
+			// Topmost cut wins: keep the highest hit while walking up.
+			var cut *viewCut
+			for n := name; n != v.origin && !n.IsRoot(); n = n.Parent() {
+				if c := v.cutsByName[n]; c != nil {
+					cut = c
+				}
+			}
+			if cut != nil {
+				ans.Result = Delegation
+				// Three-index slices: callers may append (the engine chains
+				// glue ahead of its OPT record) and must never write into
+				// the view's shared backing arrays.
+				ans.NS = cut.ns.rrs[:len(cut.ns.rrs):len(cut.ns.rrs)]
+				ans.Glue = cut.glueRRs[:len(cut.glueRRs):len(cut.glueRRs)]
+				return ans
+			}
+		}
+		if nd := v.byName[name]; nd != nil {
+			if set := nd.sets[qtype]; set != nil {
+				ans.Result = Success
+				ans.Answer = append(ans.Answer, set.rrs...)
+				return ans
+			}
+			if qtype == dnswire.TypeANY && len(nd.anyRRs) > 0 {
+				ans.Result = Success
+				ans.Answer = append(ans.Answer, nd.anyRRs...)
+				return ans
+			}
+			if set := nd.sets[dnswire.TypeCNAME]; set != nil && qtype != dnswire.TypeCNAME {
+				cname := set.rrs[0].(*dnswire.CNAME)
+				ans.Answer = append(ans.Answer, cname)
+				if hop >= maxCNAMEChain {
+					ans.Result = Success
+					return ans
+				}
+				if cname.Target.IsSubdomainOf(v.origin) {
+					name = cname.Target
+					continue
+				}
+				ans.Result = Success
+				return ans
+			}
+			ans.Result = NoData
+			ans.SOA = v.soa
+			return ans
+		}
+		// Wildcard synthesis: the closest existing encloser's "*" child.
+		if wnode := v.wildcardFor(name); wnode != nil {
+			if set := wnode.sets[qtype]; set != nil {
+				for _, rr := range set.rrs {
+					c := rr.Copy()
+					c.Header().Name = name
+					ans.Answer = append(ans.Answer, c)
+				}
+				ans.Result = Success
+				return ans
+			}
+			if set := wnode.sets[dnswire.TypeCNAME]; set != nil && qtype != dnswire.TypeCNAME {
+				c := set.rrs[0].Copy().(*dnswire.CNAME)
+				c.Name = name
+				ans.Answer = append(ans.Answer, c)
+				if hop >= maxCNAMEChain {
+					ans.Result = Success
+					return ans
+				}
+				if c.Target.IsSubdomainOf(v.origin) {
+					name = c.Target
+					continue
+				}
+				ans.Result = Success
+				return ans
+			}
+		}
+		ans.Result = NXDomain
+		ans.SOA = v.soa
+		return ans
+	}
+}
+
+// wildcardFor returns the wildcard node covering name: the "*" child of the
+// closest existing encloser, and only that encloser's (matching the legacy
+// algorithm, which never continues past the first existing ancestor).
+func (v *View) wildcardFor(name dnswire.Name) *viewNode {
+	if !v.hasWildcard {
+		return nil
+	}
+	for enc := name.Parent(); ; enc = enc.Parent() {
+		if nd := v.byName[enc]; nd != nil {
+			return nd.wildcard
+		}
+		if enc == v.origin || enc.IsRoot() {
+			return nil
+		}
+	}
+}
+
+// WireAnswer summarizes a response assembled by AppendAnswer.
+type WireAnswer struct {
+	Result Result
+	// Answer, Authority, Additional are the record counts appended per
+	// section (glue lands in Additional; the caller appends any OPT itself).
+	Answer, Authority, Additional int
+	// Cacheable reports that the query name exists as a node in the zone —
+	// a bounded key space, safe to admit into a packed-response cache
+	// (random-subdomain floods are never cacheable by construction).
+	Cacheable bool
+	// Name is the interned decoded qname when Cacheable.
+	Name dnswire.Name
+}
+
+// maxWireLabels bounds the per-name label-offset scratch (a 255-octet name
+// holds at most 127 labels).
+const maxWireLabels = 128
+
+// AppendAnswer assembles the answer/authority/glue sections for (qname,
+// qtype) directly from pre-packed view bytes, appending to out. qname is
+// the folded wire-form query name (dnswire.QueryView.AppendQnameFolded),
+// already routed to this view (Store.FindWire), and qnameOff is the
+// absolute message offset where the client's qname bytes sit, so owners can
+// be rendered as compression pointers into the question. TypeANY and any
+// view that failed to pre-pack report ok=false: the caller must fall back
+// to the decode path. The structured results match Zone.Lookup exactly,
+// including the engine's convention that negative and referral responses
+// drop any chased CNAMEs from the answer section.
+func (v *View) AppendAnswer(out []byte, qname []byte, qnameOff int, qtype dnswire.Type) ([]byte, WireAnswer, bool) {
+	var wa WireAnswer
+	if !v.wireOK || qtype == dnswire.TypeANY {
+		return out, wa, false
+	}
+	base := len(out)
+	cur := qname       // wire bytes of the name being matched
+	curOff := qnameOff // absolute message offset of those bytes, -1 when unplaced
+	originPtr := 0
+	for hop := 0; ; hop++ {
+		var offs [maxWireLabels]uint16
+		nl := 0
+		for o := 0; cur[o] != 0; o += 1 + int(cur[o]) {
+			if nl == maxWireLabels {
+				return out[:base], wa, false
+			}
+			offs[nl] = uint16(o)
+			nl++
+		}
+		if nl < v.originLabels {
+			return out[:base], wa, false
+		}
+		if hop == 0 {
+			if v.originLabels == 0 {
+				originPtr = qnameOff + len(qname) - 1
+			} else {
+				originPtr = qnameOff + int(offs[nl-v.originLabels])
+			}
+		}
+		// 1. Delegation: the topmost NS cut strictly below the apex, at or
+		// above the current name. Walking top-down, the first hit wins.
+		if len(v.cutsByWire) > 0 && nl > v.originLabels {
+			for i := nl - v.originLabels - 1; i >= 0; i-- {
+				cut := v.cutsByWire[string(cur[offs[i]:])]
+				if cut == nil {
+					continue
+				}
+				// Referrals drop chased CNAMEs (engine parity); after the
+				// rewind, pointers into the chain would dangle, so owners
+				// fall back to their literal bytes on chased hops.
+				out = out[:base]
+				wa.Answer = 0
+				ptr := -1
+				if hop == 0 {
+					ptr = curOff + int(offs[i])
+				}
+				for _, body := range cut.ns.bodies {
+					out = appendWireOwner(out, ptr, cur[offs[i]:])
+					out = append(out, body...)
+				}
+				wa.Authority = len(cut.ns.bodies)
+				out = append(out, cut.glueWire...)
+				wa.Additional = cut.glueCount
+				wa.Result = Delegation
+				return out, wa, true
+			}
+		}
+		// 2. Exact node.
+		if nd := v.byWire[string(cur)]; nd != nil {
+			if hop == 0 {
+				wa.Cacheable = true
+				wa.Name = nd.name
+			}
+			if set := nd.sets[qtype]; set != nil {
+				for _, body := range set.bodies {
+					out = appendWireOwner(out, curOff, cur)
+					out = append(out, body...)
+				}
+				wa.Answer += len(set.bodies)
+				wa.Result = Success
+				return out, wa, true
+			}
+			if set := nd.sets[dnswire.TypeCNAME]; set != nil && qtype != dnswire.TypeCNAME {
+				body := set.bodies[0]
+				out = appendWireOwner(out, curOff, cur)
+				bodyStart := len(out)
+				out = append(out, body...)
+				wa.Answer++
+				if hop >= maxCNAMEChain {
+					wa.Result = Success
+					return out, wa, true
+				}
+				// The body's RDATA is the uncompressed target name; its copy
+				// in the message becomes the next owner's pointer target.
+				target := body[10:]
+				if !v.inZone(target) {
+					wa.Result = Success
+					return out, wa, true
+				}
+				cur = target
+				curOff = bodyStart + 10
+				continue
+			}
+			out = out[:base]
+			wa.Answer = 0
+			wa.Result = NoData
+			out, wa.Authority = v.appendNegative(out, originPtr)
+			return out, wa, true
+		}
+		// 3. Wildcard synthesis off the closest existing encloser.
+		if v.hasWildcard && nl > v.originLabels {
+			var wnode *viewNode
+			for i := 1; i <= nl-v.originLabels; i++ {
+				if enc := v.byWire[string(cur[offs[i]:])]; enc != nil {
+					wnode = enc.wildcard
+					break
+				}
+			}
+			if wnode != nil {
+				if set := wnode.sets[qtype]; set != nil {
+					for _, body := range set.bodies {
+						out = appendWireOwner(out, curOff, cur)
+						out = append(out, body...)
+					}
+					wa.Answer += len(set.bodies)
+					wa.Result = Success
+					return out, wa, true
+				}
+				if set := wnode.sets[dnswire.TypeCNAME]; set != nil && qtype != dnswire.TypeCNAME {
+					body := set.bodies[0]
+					out = appendWireOwner(out, curOff, cur)
+					bodyStart := len(out)
+					out = append(out, body...)
+					wa.Answer++
+					if hop >= maxCNAMEChain {
+						wa.Result = Success
+						return out, wa, true
+					}
+					target := body[10:]
+					if !v.inZone(target) {
+						wa.Result = Success
+						return out, wa, true
+					}
+					cur = target
+					curOff = bodyStart + 10
+					continue
+				}
+			}
+		}
+		out = out[:base]
+		wa.Answer = 0
+		wa.Result = NXDomain
+		out, wa.Authority = v.appendNegative(out, originPtr)
+		return out, wa, true
+	}
+}
+
+// appendWireOwner renders a record owner: a compression pointer when the
+// name already sits at a pointable message offset, its literal bytes
+// otherwise.
+func appendWireOwner(out []byte, ptr int, literal []byte) []byte {
+	if ptr >= 0 && ptr <= 0x3FFF {
+		return append(out, 0xC0|byte(ptr>>8), byte(ptr))
+	}
+	return append(out, literal...)
+}
+
+// appendNegative appends the zone's SOA (when present) with the owner
+// pointing at the origin's bytes inside the question name.
+func (v *View) appendNegative(out []byte, originPtr int) ([]byte, int) {
+	if v.soaBody == nil {
+		return out, 0
+	}
+	out = appendWireOwner(out, originPtr, v.originWire)
+	return append(out, v.soaBody...), 1
+}
+
+// inZone reports whether a wire-form name sits at or below the view's
+// origin, comparing at a label boundary so stray byte coincidences can
+// never alias.
+func (v *View) inZone(name []byte) bool {
+	if v.originLabels == 0 {
+		return true
+	}
+	nl := 0
+	for o := 0; name[o] != 0; o += 1 + int(name[o]) {
+		nl++
+		if nl > maxWireLabels {
+			return false
+		}
+	}
+	skip := nl - v.originLabels
+	if skip < 0 {
+		return false
+	}
+	o := 0
+	for ; skip > 0; skip-- {
+		o += 1 + int(name[o])
+	}
+	return bytes.Equal(name[o:], v.originWire)
+}

@@ -1,0 +1,382 @@
+package zone
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"akamaidns/internal/dnswire"
+)
+
+// rrStrings renders records sorted, for order-insensitive comparison (the
+// legacy ANY path's ordering is nondeterministic).
+func rrStrings(rrs []dnswire.RR) []string {
+	out := make([]string, len(rrs))
+	for i, rr := range rrs {
+		out[i] = rr.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func answersEqual(a, b Answer) string {
+	if a.Result != b.Result {
+		return fmt.Sprintf("result %v vs %v", a.Result, b.Result)
+	}
+	if got, want := rrStrings(a.Answer), rrStrings(b.Answer); !eqStrings(got, want) {
+		return fmt.Sprintf("answer %v vs %v", got, want)
+	}
+	if got, want := rrStrings(a.NS), rrStrings(b.NS); !eqStrings(got, want) {
+		return fmt.Sprintf("ns %v vs %v", got, want)
+	}
+	if got, want := rrStrings(a.Glue), rrStrings(b.Glue); !eqStrings(got, want) {
+		return fmt.Sprintf("glue %v vs %v", got, want)
+	}
+	if (a.SOA == nil) != (b.SOA == nil) {
+		return fmt.Sprintf("soa %v vs %v", a.SOA, b.SOA)
+	}
+	if a.SOA != nil && a.SOA.String() != b.SOA.String() {
+		return fmt.Sprintf("soa %v vs %v", a.SOA, b.SOA)
+	}
+	return ""
+}
+
+func eqStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// parityQueries is the probe set used by the parity tests: every interesting
+// name shape in exampleZone plus misses around them.
+var parityQueries = []string{
+	"example.com", "www.example.com", "alias.example.com", "chain.example.com",
+	"ext.example.com", "a.wild.example.com", "a.b.wild.example.com",
+	"wild.example.com", "a.cwild.example.com", "cwild.example.com",
+	"txt.example.com", "mx.example.com", "deep.a.b.example.com",
+	"a.b.example.com", "b.example.com", "sub.example.com",
+	"www.sub.example.com", "ns1.sub.example.com", "missing.example.com",
+	"a.missing.example.com", "ns2.example.com", "other.net", "example.net",
+}
+
+var parityTypes = []dnswire.Type{
+	dnswire.TypeA, dnswire.TypeAAAA, dnswire.TypeNS, dnswire.TypeCNAME,
+	dnswire.TypeSOA, dnswire.TypeTXT, dnswire.TypeMX, dnswire.TypeANY,
+}
+
+func TestViewLookupParity(t *testing.T) {
+	z := buildZone(t)
+	v := z.View()
+	for _, q := range parityQueries {
+		for _, typ := range parityTypes {
+			want := z.Lookup(n(q), typ)
+			got := v.Lookup(n(q), typ)
+			if diff := answersEqual(got, want); diff != "" {
+				t.Errorf("%s %v: %s", q, typ, diff)
+			}
+		}
+	}
+}
+
+// TestViewWireParity assembles responses through the zero-alloc wire path
+// and checks the decoded records against the structured lookup, applying the
+// engine's convention that referrals and negative answers drop chased
+// CNAMEs.
+func TestViewWireParity(t *testing.T) {
+	z := buildZone(t)
+	v := z.View()
+	for _, q := range parityQueries {
+		for _, typ := range parityTypes {
+			name := n(q)
+			msg, wa, ok := appendAnswerMessage(t, v, name, typ)
+			if typ == dnswire.TypeANY {
+				if ok {
+					t.Errorf("%s ANY: wire path must decline", q)
+				}
+				continue
+			}
+			if !name.IsSubdomainOf(v.Origin()) {
+				// Out-of-zone probes are the store router's job; the wire
+				// path still reports NXDomain likewise, just skip.
+				continue
+			}
+			if !ok {
+				t.Errorf("%s %v: wire path declined", q, typ)
+				continue
+			}
+			want := z.Lookup(name, typ)
+			if wa.Result != want.Result {
+				t.Errorf("%s %v: wire result %v, want %v", q, typ, wa.Result, want.Result)
+				continue
+			}
+			wantAns, wantAuth, wantAdd := wireExpect(want)
+			if got, want := rrStrings(msg.Answers), rrStrings(wantAns); !eqStrings(got, want) {
+				t.Errorf("%s %v: answers %v, want %v", q, typ, got, want)
+			}
+			if got, want := rrStrings(msg.Authority), rrStrings(wantAuth); !eqStrings(got, want) {
+				t.Errorf("%s %v: authority %v, want %v", q, typ, got, want)
+			}
+			if got, want := rrStrings(msg.Additional), rrStrings(wantAdd); !eqStrings(got, want) {
+				t.Errorf("%s %v: additional %v, want %v", q, typ, got, want)
+			}
+		}
+	}
+}
+
+// wireExpect maps a structured Answer to the sections the wire path must
+// emit, applying the engine's convention that referrals and negative
+// responses drop any chased CNAMEs from the answer section.
+func wireExpect(want Answer) (ans, auth, add []dnswire.RR) {
+	switch want.Result {
+	case Success:
+		ans = want.Answer
+	case Delegation:
+		auth = want.NS
+		add = want.Glue
+	case NXDomain, NoData:
+		if want.SOA != nil {
+			auth = []dnswire.RR{want.SOA}
+		}
+	}
+	return ans, auth, add
+}
+
+// appendAnswerMessage runs the wire path inside a synthetic query message
+// and decodes the result, exercising the compression pointers exactly as a
+// resolver would see them.
+func appendAnswerMessage(t *testing.T, v *View, qname dnswire.Name, qtype dnswire.Type) (*dnswire.Message, WireAnswer, bool) {
+	t.Helper()
+	qw := qname.AppendWire(nil)
+	buf := make([]byte, 0, 1024)
+	buf = append(buf, 0x12, 0x34, 0x84, 0x00, 0, 1, 0, 0, 0, 0, 0, 0)
+	buf = append(buf, qw...)
+	buf = append(buf, byte(qtype>>8), byte(qtype), 0, 1)
+	out, wa, ok := v.AppendAnswer(buf, qw, 12, qtype)
+	if !ok {
+		return nil, wa, false
+	}
+	out[6], out[7] = byte(wa.Answer>>8), byte(wa.Answer)
+	out[8], out[9] = byte(wa.Authority>>8), byte(wa.Authority)
+	out[10], out[11] = byte(wa.Additional>>8), byte(wa.Additional)
+	msg, err := dnswire.Unpack(out)
+	if err != nil {
+		t.Fatalf("%s %v: unpack: %v (wire % x)", qname, qtype, err, out)
+	}
+	return msg, wa, true
+}
+
+// TestViewWireZeroAlloc pins the no-allocation contract of the miss path:
+// assembling NXDOMAIN, NoData, delegation, and plain-hit responses into a
+// caller-owned buffer must not allocate.
+func TestViewWireZeroAlloc(t *testing.T) {
+	z := buildZone(t)
+	v := z.View()
+	queries := []struct {
+		name  dnswire.Name
+		qtype dnswire.Type
+	}{
+		{n("missing.example.com"), dnswire.TypeA},
+		{n("www.example.com"), dnswire.TypeAAAA},
+		{n("www.sub.example.com"), dnswire.TypeA},
+		{n("www.example.com"), dnswire.TypeA},
+		{n("a.wild.example.com"), dnswire.TypeA},
+	}
+	for _, q := range queries {
+		qw := q.name.AppendWire(nil)
+		buf := make([]byte, 0, 4096)
+		allocs := testing.AllocsPerRun(100, func() {
+			_, _, ok := v.AppendAnswer(buf[:0], qw, 12, q.qtype)
+			if !ok {
+				t.Fatalf("%s: wire path declined", q.name)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s %v: %v allocs, want 0", q.name, q.qtype, allocs)
+		}
+	}
+}
+
+// TestViewInvalidation holds the RCU contract: mutations invalidate the
+// compiled view, readers see the new data, and an untouched zone keeps
+// serving the same snapshot without recompiling.
+func TestViewInvalidation(t *testing.T) {
+	z := buildZone(t)
+	v1 := z.View()
+	if z.View() != v1 {
+		t.Fatal("stable zone must reuse its compiled view")
+	}
+	if err := z.Add(mustRRHelper(t, "new.example.com.", "A", "192.0.2.200")); err != nil {
+		t.Fatal(err)
+	}
+	v2 := z.View()
+	if v2 == v1 {
+		t.Fatal("mutation must invalidate the compiled view")
+	}
+	if got := v2.Lookup(n("new.example.com"), dnswire.TypeA); got.Result != Success {
+		t.Fatalf("new record not visible in recompiled view: %v", got.Result)
+	}
+	if got := v1.Lookup(n("new.example.com"), dnswire.TypeA); got.Result != NXDomain {
+		t.Fatalf("old snapshot must be immutable: %v", got.Result)
+	}
+	if z.ViewRebuilds() != 2 {
+		t.Fatalf("ViewRebuilds = %d, want 2", z.ViewRebuilds())
+	}
+}
+
+func mustRRHelper(t *testing.T, owner, typ, rdata string) dnswire.RR {
+	t.Helper()
+	zz, err := ParseMaster(strings.NewReader(fmt.Sprintf("%s 300 IN %s %s\n", owner, typ, rdata)), n("example.com"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rrs := zz.RRset(dnswire.MustName(owner), dnswire.TypeA)
+	if len(rrs) != 1 {
+		t.Fatalf("helper parsed %d records", len(rrs))
+	}
+	return rrs[0]
+}
+
+// TestViewConcurrentMutate hammers the compiled view from reader goroutines
+// while a writer mutates the zone; run under -race this proves the serve
+// path takes no read-side locks yet never observes a torn snapshot.
+func TestViewConcurrentMutate(t *testing.T) {
+	z := buildZone(t)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			qw := n("www.example.com").AppendWire(nil)
+			miss := n("nope.example.com").AppendWire(nil)
+			buf := make([]byte, 0, 4096)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := z.View()
+				if got := v.Lookup(n("www.example.com"), dnswire.TypeA); got.Result != Success {
+					t.Errorf("www lookup: %v", got.Result)
+					return
+				}
+				if _, wa, ok := v.AppendAnswer(buf[:0], qw, 12, dnswire.TypeA); !ok || wa.Result != Success {
+					t.Errorf("wire hit failed: ok=%v result=%v", ok, wa.Result)
+					return
+				}
+				if _, wa, ok := v.AppendAnswer(buf[:0], miss, 12, dnswire.TypeA); !ok || wa.Result != NXDomain {
+					t.Errorf("wire miss failed: ok=%v result=%v", ok, wa.Result)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		rr := mustRRHelper(t, fmt.Sprintf("gen%d.example.com.", i), "A", "192.0.2.77")
+		if err := z.Add(rr); err != nil {
+			t.Fatal(err)
+		}
+		if i%3 == 0 {
+			z.Remove(dnswire.MustName(fmt.Sprintf("gen%d.example.com.", i)), dnswire.TypeA)
+		}
+		z.SetSerial(uint32(2020010102 + i))
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestStoreFindParity checks the lock-free router against the reference
+// linear scan across a spread of zones and probe names.
+func TestStoreFindParity(t *testing.T) {
+	s := NewStore()
+	origins := []string{"example.com.", "sub.example.com.", "example.net.", "com.", "deep.a.b.example.org."}
+	zones := map[string]*Zone{}
+	for _, o := range origins {
+		z := New(n(o))
+		s.Put(z)
+		zones[o] = z
+	}
+	probes := map[string]string{
+		"example.com.":            "example.com.",
+		"www.example.com.":        "example.com.",
+		"www.sub.example.com.":    "sub.example.com.",
+		"sub.example.com.":        "sub.example.com.",
+		"a.com.":                  "com.",
+		"com.":                    "com.",
+		"example.org.":            "",
+		"deep.a.b.example.org.":   "deep.a.b.example.org.",
+		"x.deep.a.b.example.org.": "deep.a.b.example.org.",
+		"b.example.org.":          "",
+		"net.":                    "",
+		".":                       "",
+	}
+	for probe, want := range probes {
+		got := s.Find(n(probe))
+		if want == "" {
+			if got != nil {
+				t.Errorf("Find(%s) = %s, want nil", probe, got.Origin())
+			}
+			continue
+		}
+		if got != zones[want] {
+			t.Errorf("Find(%s) = %v, want %s", probe, got, want)
+		}
+		// Wire-form router must agree and report the origin's offset.
+		qw := n(probe).AppendWire(nil)
+		zw, off, ok := s.FindWire(qw)
+		if !ok || zw != zones[want] {
+			t.Errorf("FindWire(%s) = %v,%v", probe, zw, ok)
+			continue
+		}
+		wantOff := len(qw) - zones[want].Origin().WireLen()
+		if off != wantOff {
+			t.Errorf("FindWire(%s) offset = %d, want %d", probe, off, wantOff)
+		}
+	}
+	// Root zone routes everything not matched more specifically.
+	root := New(dnswire.Root)
+	s.Put(root)
+	if got := s.Find(n("unmatched.test.")); got != root {
+		t.Errorf("root fallback: got %v", got)
+	}
+	if zw, off, ok := s.FindWire(n("unmatched.test.").AppendWire(nil)); !ok || zw != root || off != len("unmatched.test.") {
+		t.Errorf("root FindWire: %v %d %v", zw, off, ok)
+	}
+	// Deleting restores the misses.
+	s.Delete(dnswire.Root)
+	if got := s.Find(n("unmatched.test.")); got != nil {
+		t.Errorf("after delete: got %v", got.Origin())
+	}
+	if s.RouterRebuilds() == 0 {
+		t.Error("router rebuilds not counted")
+	}
+}
+
+func TestStoreFindWireZeroAlloc(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 64; i++ {
+		s.Put(New(n(fmt.Sprintf("zone%02d.example.", i))))
+	}
+	hit := n("deep.name.zone63.example.").AppendWire(nil)
+	miss := n("deep.name.other.example.").AppendWire(nil)
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, _, ok := s.FindWire(hit); !ok {
+			t.Fatal("hit missed")
+		}
+		if _, _, ok := s.FindWire(miss); ok {
+			t.Fatal("miss hit")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("FindWire allocs = %v, want 0", allocs)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"akamaidns/internal/dnswire"
 )
@@ -32,6 +33,10 @@ type Zone struct {
 	// hook, when set (by the Store the zone is installed in), is invoked
 	// after every in-place mutation so store-derived caches can invalidate.
 	hook func()
+	// view is the compiled read-only snapshot (see view.go), invalidated on
+	// every mutation and lazily recompiled by the next View() caller.
+	view         atomic.Pointer[View]
+	viewRebuilds atomic.Uint64
 }
 
 // New creates an empty zone rooted at origin.
@@ -53,8 +58,11 @@ func (z *Zone) setChangeHook(fn func()) {
 	z.mu.Unlock()
 }
 
-// notifyLocked fires the change hook; callers hold z.mu.
+// notifyLocked fires the change hook and drops the compiled view; callers
+// hold z.mu exclusively, so no concurrent View() call can republish a stale
+// snapshot after this store.
 func (z *Zone) notifyLocked() {
+	z.view.Store(nil)
 	if z.hook != nil {
 		z.hook()
 	}
