@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race vet bench bench-compile bench-smoke bench-json experiments fuzz chaos chaos-soak examples clean
+.PHONY: all build test race vet bench bench-compile bench-smoke bench-json bench-alloc-guard experiments fuzz chaos chaos-soak examples clean
 
 all: build test
 
@@ -21,6 +21,7 @@ race:
 	go test -race -run='TestViewServeWhileMutating' -count=2 ./internal/netserve/
 	go test -race -run='TestViewConcurrentMutate' -count=2 ./internal/zone/
 	go test -race -run='TestContainmentPanicStorm|TestQueryOfDeathDrill' -count=2 ./internal/netserve/
+	go test -race -run='TestScrapeWhileServing|TestFlightForensicsEndToEnd' -count=2 ./internal/netserve/
 	go test -race -run='TestCoordinatorRaceStress|TestCoordinatorQuorumUnionOverGrant' -count=2 ./internal/monitor/
 
 vet:
@@ -41,11 +42,18 @@ bench-smoke:
 
 # Measured UDP serving numbers, committed as BENCH_netserve.json. Written
 # via a temp file: a direct redirect would truncate the old file before
-# benchjson reads its baseline block out of it.
+# benchjson reads its baseline block out of it. The -assert-zero-alloc
+# guard fails the run if any hot handle path (cached hit, EDNS hit,
+# view-path NXDOMAIN miss, delegation miss) starts allocating.
 bench-json:
-	go test -run='^$$' -bench='BenchmarkNetServeUDP|BenchmarkHandleUDP|BenchmarkStoreFind' -benchmem -benchtime=2s . ./internal/netserve/ ./internal/zone/ | go run ./cmd/benchjson > BENCH_netserve.json.tmp
+	go test -run='^$$' -bench='BenchmarkNetServeUDP|BenchmarkHandleUDP|BenchmarkStoreFind' -benchmem -benchtime=2s . ./internal/netserve/ ./internal/zone/ | go run ./cmd/benchjson -assert-zero-alloc='^HandleUDP$$|^HandleUDPEDNS$$|^HandleUDPMissNXDOMAIN$$|^HandleUDPDelegation$$' > BENCH_netserve.json.tmp
 	mv BENCH_netserve.json.tmp BENCH_netserve.json
 	@cat BENCH_netserve.json
+
+# CI-shaped allocation regression smoke: short benchtime, no file rewrite,
+# same zero-alloc guard as bench-json.
+bench-alloc-guard:
+	go test -run='^$$' -bench='BenchmarkHandleUDP' -benchmem -benchtime=0.2s ./internal/netserve/ | go run ./cmd/benchjson -keep-baseline='' -assert-zero-alloc='^HandleUDP$$|^HandleUDPEDNS$$|^HandleUDPMissNXDOMAIN$$|^HandleUDPDelegation$$' > /dev/null
 
 experiments:
 	go run ./cmd/experiments -fig all

@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -25,6 +27,7 @@ import (
 
 	"akamaidns/internal/dnswire"
 	"akamaidns/internal/filters"
+	"akamaidns/internal/flight"
 	"akamaidns/internal/nameserver"
 	"akamaidns/internal/netserve"
 	"akamaidns/internal/obs"
@@ -53,7 +56,17 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 0, "overload ladder in-flight handler ceiling (0 disables shedding)")
 	watchdog := flag.Bool("watchdog", true, "self-suspend on panic/malformed/latency storms (flips /healthz to 503)")
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "grace period for in-flight queries on SIGTERM before sockets are force-closed")
+	latencySample := flag.Int("latency-sample", 0, "time 1-in-N answers for the watchdog and flight recorder (0 = default 64, negative disables)")
+	flightSample := flag.Int("flight-sample", 0, "flight-recorder head sampling: capture 1-in-N normal queries, anomalies always (0 = default 16, negative disables the recorder)")
+	debugAddr := flag.String("debug-addr", "", "serve the /debug forensics endpoints on a separate address ('' = ride the metrics listener)")
+	withPprof := flag.Bool("pprof", false, "mount net/http/pprof on the debug/metrics listener")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(obs.VersionString("authdns"))
+		return
+	}
 
 	if len(zones) == 0 && len(secondaries) == 0 {
 		fmt.Fprintln(os.Stderr, "authdns: at least one -zone origin=path or -secondary origin=addr is required")
@@ -103,7 +116,14 @@ func main() {
 	if !*watchdog {
 		cfg.Watchdog = nil
 	}
+	cfg.LatencySample = *latencySample
+	if *flightSample < 0 {
+		cfg.Flight = nil
+	} else if *flightSample > 0 {
+		cfg.Flight = &flight.Config{SampleEvery: *flightSample}
+	}
 	srv := netserve.New(cfg, eng, pipe)
+	obs.RegisterBuildInfo(srv.Reg)
 	// IXFR history: record the loaded version of every zone so secondaries
 	// presenting our serial get the cheap "up to date" answer.
 	srv.History = zone.NewHistory(8)
@@ -136,11 +156,28 @@ func main() {
 	if a := srv.TCPAddrActual(); a != "" {
 		fmt.Printf("authdns: tcp %s\n", a)
 	}
+	// The forensics mount: /debug/queries, /debug/topk, /debug/qod,
+	// /debug/views, plus pprof when asked for. It rides the metrics
+	// listener unless -debug-addr splits it onto its own.
+	mountDebug := func(mux *http.ServeMux) {
+		srv.RegisterDebug(mux)
+		if *withPprof {
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}
+	}
 	if *metricsAddr != "" {
 		// /healthz reflects the live server state: 503 while the watchdog
 		// holds a self-suspension or once a drain has begun, so whatever
 		// steers traffic at this machine stops before the sockets do.
-		ms, err := obs.Serve(*metricsAddr, srv.Reg, srv.Healthy)
+		mount := mountDebug
+		if *debugAddr != "" {
+			mount = nil // forensics live on their own listener below
+		}
+		ms, err := obs.ServeWith(*metricsAddr, srv.Reg, srv.Healthy, mount)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "authdns:", err)
 			srv.Close()
@@ -148,6 +185,16 @@ func main() {
 		}
 		defer ms.Close()
 		fmt.Printf("authdns: metrics http://%s/metrics\n", ms.Addr())
+	}
+	if *debugAddr != "" {
+		ds, err := obs.ServeWith(*debugAddr, srv.Reg, srv.Healthy, mountDebug)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "authdns:", err)
+			srv.Close()
+			os.Exit(1)
+		}
+		defer ds.Close()
+		fmt.Printf("authdns: debug http://%s/debug/queries\n", ds.Addr())
 	}
 
 	// Graceful shutdown on SIGTERM/SIGINT: health flips to 503 immediately,

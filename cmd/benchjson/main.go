@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -39,6 +40,8 @@ type Doc struct {
 func main() {
 	keep := flag.String("keep-baseline", "BENCH_netserve.json",
 		"preserve the 'baseline' key from this existing JSON file ('' disables)")
+	assertZeroAlloc := flag.String("assert-zero-alloc", "",
+		"regexp over (trimmed) benchmark names that must report 0 allocs/op; exits 1 on any allocation or if nothing matches")
 	flag.Parse()
 	var doc Doc
 	if *keep != "" {
@@ -110,5 +113,36 @@ func main() {
 	if err := enc.Encode(doc); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	// Allocation regression guard: the zero-alloc hot paths are a pinned
+	// property, not a best effort. Matching benchmarks that allocate — or a
+	// pattern matching nothing (renamed benchmarks would silently disarm
+	// the guard) — fail the run after the JSON is emitted.
+	if *assertZeroAlloc != "" {
+		re, err := regexp.Compile(*assertZeroAlloc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: -assert-zero-alloc:", err)
+			os.Exit(1)
+		}
+		matched, bad := 0, 0
+		for _, r := range doc.Benchmarks {
+			if !re.MatchString(r.Name) {
+				continue
+			}
+			matched++
+			if r.AllocsPerOp > 0 {
+				bad++
+				fmt.Fprintf(os.Stderr, "benchjson: %s allocates: %d allocs/op (%d B/op)\n",
+					r.Name, r.AllocsPerOp, r.BytesPerOp)
+			}
+		}
+		if matched == 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: -assert-zero-alloc %q matched no benchmarks\n", *assertZeroAlloc)
+			os.Exit(1)
+		}
+		if bad > 0 {
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: zero-alloc guard ok (%d benchmarks)\n", matched)
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"akamaidns/internal/chaos"
+	"akamaidns/internal/obs"
 )
 
 func main() {
@@ -34,8 +35,14 @@ func main() {
 		dump      = flag.Bool("log", false, "print the full event log of every run")
 		quiet     = flag.Bool("quiet", false, "only print failures and the final tally")
 		live      = flag.Bool("live", false, "run the query-of-death drill against the real socket server instead of the simulation")
+		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(obs.VersionString("chaos"))
+		return
+	}
 
 	if *live {
 		res, err := chaos.RunLive(chaos.LiveConfig{})
@@ -53,8 +60,8 @@ func main() {
 			}
 			os.Exit(1)
 		}
-		fmt.Printf("ok   live drill: panics=%d refused=%d quarantined=%d trips=%d\n",
-			res.Panics, res.Refused, res.Quarantined, res.WatchdogTrips)
+		fmt.Printf("ok   live drill: panics=%d refused=%d quarantined=%d trips=%d recorded=%d\n",
+			res.Panics, res.Refused, res.Quarantined, res.WatchdogTrips, res.Recorded)
 		return
 	}
 

@@ -14,16 +14,27 @@ package chaos
 //     and the server reports unhealthy (the /healthz 503 that would pull the
 //     anycast route, §4.2.1);
 //   - recovery: after the quiet period the server resumes answering on its
-//     own.
+//     own;
+//   - forensics: the attack is reconstructable after the fact from the query
+//     flight recorder's live HTTP surface — the flood suffix is a /debug/topk
+//     heavy hitter, quarantine refusals have matching /debug/queries records,
+//     and the quarantined signature is listed by /debug/qod.
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
 	"time"
 
 	"akamaidns/internal/dnswire"
+	"akamaidns/internal/flight"
 	"akamaidns/internal/nameserver"
 	"akamaidns/internal/netserve"
+	"akamaidns/internal/obs"
 	"akamaidns/internal/qod"
 	"akamaidns/internal/zone"
 )
@@ -65,6 +76,7 @@ type LiveResult struct {
 	Refused       uint64 // queries refused pre-decode by the quarantine
 	Quarantined   uint64 // distinct signatures admitted to the quarantine
 	WatchdogTrips uint64 // panic-tripwire firings
+	Recorded      uint64 // flight-recorder records captured across the drill
 	Violations    []string
 	// Log is the wall-clock event narration (not deterministic across runs).
 	Log []byte
@@ -136,8 +148,17 @@ func RunLive(cfg LiveConfig) (*LiveResult, error) {
 	}
 	defer srv.Close()
 
+	// The forensics surface the drill interrogates over real HTTP: the same
+	// /metrics + /debug mount cmd/authdns serves.
+	ms, err := obs.ServeWith("127.0.0.1:0", srv.Reg, srv.Healthy, srv.RegisterDebug)
+	if err != nil {
+		return nil, err
+	}
+	defer ms.Close()
+
 	d := &liveDrill{cfg: cfg, srv: srv, start: time.Now()}
-	d.logf("run", "live drill: udp=%s workers=%d", srv.UDPAddrActual(), cfg.UDPWorkers)
+	d.logf("run", "live drill: udp=%s debug=http://%s workers=%d",
+		srv.UDPAddrActual(), ms.Addr(), cfg.UDPWorkers)
 	d.checkServing(1, "baseline")
 
 	// Phase 1 — containment: one poison signature, repeated.
@@ -193,15 +214,185 @@ func RunLive(cfg LiveConfig) (*LiveResult, error) {
 		d.checkServing(201, "after recovery")
 	}
 
-	d.logf("summary", "panics=%d refused=%d quarantined=%d trips=%d violations=%d",
+	// Phase 4 — laundered flood: a burst of random-subdomain queries under
+	// one parent, the NXDOMAIN-flood shape that is a hot-cache miss by
+	// construction. Fire-and-forget over one socket; loopback may drop a few
+	// under burst, so the forensics thresholds below stay lenient.
+	const floodN = 1024
+	sent := d.flood(floodN)
+	d.logf("flood", "fired %d random-subdomain queries under flood.live.test", sent)
+	// Expect ~floodN/SampleEvery captures; wait for half that to tolerate
+	// loopback drops.
+	d.awaitCapture(floodN/(2*flight.DefaultSampleEvery), 2*time.Second)
+
+	// Phase 5 — forensics: reconstruct both attacks from the recorder's HTTP
+	// surface alone, the way an operator (or the NOCC) would.
+	base := "http://" + ms.Addr()
+	d.checkFloodForensics(base)
+	d.checkQoDForensics(base, poison)
+	d.checkRollupSeries(base)
+
+	d.logf("summary", "panics=%d refused=%d quarantined=%d trips=%d recorded=%d violations=%d",
 		srv.Metrics.Panics.Load(), srv.Metrics.QoDRefused.Load(),
-		srv.Quarantine().Admitted(), srv.Watchdog().Trips(qod.TripPanic), len(d.viols))
+		srv.Quarantine().Admitted(), srv.Watchdog().Trips(qod.TripPanic),
+		srv.FlightRecorder().Recorded(), len(d.viols))
 	return &LiveResult{
 		Panics:        srv.Metrics.Panics.Load(),
 		Refused:       srv.Metrics.QoDRefused.Load(),
 		Quarantined:   srv.Quarantine().Admitted(),
 		WatchdogTrips: srv.Watchdog().Trips(qod.TripPanic),
+		Recorded:      srv.FlightRecorder().Recorded(),
 		Violations:    d.viols,
 		Log:           append([]byte(nil), d.log.Bytes()...),
 	}, nil
+}
+
+// flood fires n random-subdomain A queries under flood.live.test without
+// waiting for answers, pacing lightly so the loopback socket buffer keeps
+// up. Reports how many packets were written.
+func (d *liveDrill) flood(n int) int {
+	conn, err := net.Dial("udp", d.srv.UDPAddrActual())
+	if err != nil {
+		d.violate("flood-forensics", "flood socket: %v", err)
+		return 0
+	}
+	defer conn.Close()
+	sent := 0
+	for i := 0; i < n; i++ {
+		q := dnswire.NewQuery(uint16(1000+i), dnswire.MustName(fmt.Sprintf("f%04d.flood.live.test", i)), dnswire.TypeA)
+		wire, err := q.Pack()
+		if err != nil {
+			continue
+		}
+		if _, err := conn.Write(wire); err == nil {
+			sent++
+		}
+		if i%64 == 63 {
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	return sent
+}
+
+// awaitCapture waits until the flight recorder has captured at least want
+// records (head sampling makes the exact count probabilistic) or the
+// deadline passes — the flood is fire-and-forget, so processing lags sends.
+func (d *liveDrill) awaitCapture(want int, deadline time.Duration) {
+	rec := d.srv.FlightRecorder()
+	end := time.Now().Add(deadline)
+	for rec.Recorded() < uint64(want) && time.Now().Before(end) {
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// fetchJSON GETs one forensics endpoint and decodes it.
+func (d *liveDrill) fetchJSON(url string, into any) bool {
+	resp, err := http.Get(url)
+	if err != nil {
+		d.violate("forensics-http", "GET %s: %v", url, err)
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		d.violate("forensics-http", "GET %s: status %d", url, resp.StatusCode)
+		return false
+	}
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		d.violate("forensics-http", "GET %s: bad JSON: %v", url, err)
+		return false
+	}
+	return true
+}
+
+// checkFloodForensics asserts the flood's parent suffix surfaced as a
+// /debug/topk heavy hitter — the NXNSAttack-diagnosis workflow.
+func (d *liveDrill) checkFloodForensics(base string) {
+	var topk struct {
+		Suffixes []struct {
+			Key   string `json:"key"`
+			Count uint64 `json:"count"`
+		} `json:"suffixes"`
+	}
+	if !d.fetchJSON(base+"/debug/topk", &topk) {
+		return
+	}
+	for _, s := range topk.Suffixes {
+		if s.Key == "flood.live.test." {
+			if s.Count < 4 {
+				d.violate("flood-forensics", "flood suffix in top-k but count=%d, want >= 4", s.Count)
+				return
+			}
+			d.logf("forensics", "flood suffix %q is a top-k heavy hitter (count=%d)", s.Key, s.Count)
+			return
+		}
+	}
+	d.violate("flood-forensics", "flood.live.test. not in /debug/topk suffixes (%d entries)", len(topk.Suffixes))
+}
+
+// checkQoDForensics asserts the quarantine's refusals left matching records
+// in the ring (anomalies escalate to 100%% capture) and that /debug/qod
+// lists the quarantined signature.
+func (d *liveDrill) checkQoDForensics(base, poison string) {
+	var queries struct {
+		Records []struct {
+			QnameSuffix string `json:"qname_suffix"`
+			Verdict     string `json:"verdict"`
+			Anomalous   bool   `json:"anomalous"`
+		} `json:"records"`
+	}
+	if d.fetchJSON(base+"/debug/queries?verdict=quarantined&n=2048", &queries) {
+		matched := 0
+		for _, r := range queries.Records {
+			if strings.Contains(r.QnameSuffix, dnswire.QoDMarkerLabel) && r.Anomalous {
+				matched++
+			}
+		}
+		if matched == 0 {
+			d.violate("qod-forensics", "no quarantine-verdict record matches the %s poison (got %d quarantined records)",
+				poison, len(queries.Records))
+		} else {
+			d.logf("forensics", "%d quarantine refusals captured with matching qname records", matched)
+		}
+	}
+	var qodDoc struct {
+		Signatures []struct {
+			Suffix string `json:"suffix"`
+		} `json:"signatures"`
+	}
+	if d.fetchJSON(base+"/debug/qod", &qodDoc) {
+		found := false
+		for _, sig := range qodDoc.Signatures {
+			if strings.Contains(sig.Suffix, dnswire.QoDMarkerLabel) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			d.violate("qod-forensics", "/debug/qod lists no signature for the poison (%d signatures)", len(qodDoc.Signatures))
+		} else {
+			d.logf("forensics", "/debug/qod lists the quarantined poison signature")
+		}
+	}
+}
+
+// checkRollupSeries asserts the per-(zone, rcode) rollup reached /metrics —
+// the flood must show as NXDOMAIN records against live.test.
+func (d *liveDrill) checkRollupSeries(base string) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		d.violate("forensics-http", "GET /metrics: %v", err)
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		d.violate("forensics-http", "read /metrics: %v", err)
+		return
+	}
+	want := `akamaidns_flight_zone_rcode_records_total{rcode="NXDOMAIN",zone="live.test."}`
+	if !bytes.Contains(body, []byte(want)) {
+		d.violate("flood-forensics", "rollup series %s missing from /metrics", want)
+		return
+	}
+	d.logf("forensics", "flight rollup series present on /metrics")
 }

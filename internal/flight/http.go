@@ -1,0 +1,177 @@
+package flight
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/netip"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// recordJSON is the forensics rendering of one Record.
+type recordJSON struct {
+	AgeMS       int64  `json:"age_ms"`
+	QnameSuffix string `json:"qname_suffix"`
+	QType       string `json:"qtype"`
+	RCode       string `json:"rcode"`
+	Client      string `json:"client"`
+	Transport   string `json:"transport"`
+	Verdict     string `json:"verdict"`
+	LatencyUS   int64  `json:"latency_us"`
+	Anomalous   bool   `json:"anomalous"`
+	Hash        string `json:"qname_hash"`
+}
+
+// QueriesHandler serves the ring dump: GET /debug/queries with optional
+// filters n= (max records, default 256), verdict=, rcode=, qtype=,
+// suffix= (substring match on the recorded qname tail), and anomalous=1.
+func (r *Recorder) QueriesHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		q := req.URL.Query()
+		max := 256
+		if v := q.Get("n"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil && n > 0 {
+				max = n
+			}
+		}
+		wantVerdict := Verdict(0xFE)
+		if v := q.Get("verdict"); v != "" {
+			vv, ok := VerdictFromString(v)
+			if !ok {
+				http.Error(w, "unknown verdict "+strconv.Quote(v), http.StatusBadRequest)
+				return
+			}
+			wantVerdict = vv
+		}
+		wantRCode := -1
+		if v := q.Get("rcode"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil {
+				wantRCode = n
+			} else {
+				found := false
+				for rc, name := range rcodeNames {
+					if name == strings.ToUpper(v) {
+						wantRCode = int(rc)
+						found = true
+						break
+					}
+				}
+				if !found {
+					http.Error(w, "unknown rcode "+strconv.Quote(v), http.StatusBadRequest)
+					return
+				}
+			}
+		}
+		wantQType := -1
+		if v := q.Get("qtype"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil {
+				wantQType = n
+			} else if t, ok := QTypeFromString(strings.ToUpper(v)); ok {
+				wantQType = int(t)
+			} else {
+				http.Error(w, "unknown qtype "+strconv.Quote(v), http.StatusBadRequest)
+				return
+			}
+		}
+		wantSuffix := strings.ToLower(q.Get("suffix"))
+		onlyAnomalous := q.Get("anomalous") == "1" || q.Get("anomalous") == "true"
+
+		// Over-fetch so filters still fill the page, then trim.
+		records := r.Snapshot(0)
+		now := time.Since(r.epoch)
+		out := struct {
+			SampleEvery int          `json:"sample_every"`
+			Recorded    uint64       `json:"recorded_total"`
+			Records     []recordJSON `json:"records"`
+		}{SampleEvery: r.cfg.SampleEvery, Recorded: r.Recorded(), Records: []recordJSON{}}
+		for i := range records {
+			rec := &records[i]
+			if wantVerdict != 0xFE && rec.Verdict != wantVerdict {
+				continue
+			}
+			if wantRCode >= 0 && int(rec.RCode) != wantRCode {
+				continue
+			}
+			if wantQType >= 0 && int(rec.QType) != wantQType {
+				continue
+			}
+			if onlyAnomalous && !rec.Anomalous() {
+				continue
+			}
+			suffix := rec.SuffixString()
+			if wantSuffix != "" && !strings.Contains(suffix, wantSuffix) {
+				continue
+			}
+			transport := "udp"
+			if rec.Flags&FlagTCP != 0 {
+				transport = "tcp"
+			}
+			out.Records = append(out.Records, recordJSON{
+				AgeMS:       (int64(now) - rec.When) / int64(time.Millisecond),
+				QnameSuffix: suffix,
+				QType:       QTypeName(rec.QType),
+				RCode:       RCodeName(rec.RCode),
+				Client:      rec.ClientAddrPort().String(),
+				Transport:   transport,
+				Verdict:     rec.Verdict.String(),
+				LatencyUS:   int64(rec.Latency),
+				Anomalous:   rec.Anomalous(),
+				Hash:        strconv.FormatUint(rec.Hash, 16),
+			})
+			if len(out.Records) >= max {
+				break
+			}
+		}
+		writeJSON(w, out)
+	})
+}
+
+// topItemJSON is the forensics rendering of one heavy hitter.
+type topItemJSON struct {
+	Key   string `json:"key"`
+	Count uint64 `json:"count"`
+	// Err bounds the space-saving overestimate: true count >= count-err.
+	Err uint64 `json:"err"`
+}
+
+// TopKHandler serves the heavy-hitter sketches: GET /debug/topk.
+func (r *Recorder) TopKHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		out := struct {
+			Suffixes  []topItemJSON `json:"suffixes"`
+			QTypes    []topItemJSON `json:"qtypes"`
+			Resolvers []topItemJSON `json:"resolvers"`
+		}{
+			Suffixes:  renderTop(r.TopSuffixes(), func(k []byte) string { return string(k) }),
+			QTypes:    renderTop(r.TopQTypes(), func(k []byte) string { return string(k) }),
+			Resolvers: renderTop(r.TopResolvers(), renderResolverKey),
+		}
+		writeJSON(w, out)
+	})
+}
+
+func renderTop(items []TopItem, render func([]byte) string) []topItemJSON {
+	out := make([]topItemJSON, 0, len(items))
+	for _, it := range items {
+		out = append(out, topItemJSON{Key: render(it.Key), Count: it.Count, Err: it.Err})
+	}
+	return out
+}
+
+// renderResolverKey turns a 16-byte address key back into address text.
+func renderResolverKey(k []byte) string {
+	if len(k) == 16 {
+		var a [16]byte
+		copy(a[:], k)
+		return netip.AddrFrom16(a).Unmap().String()
+	}
+	return string(k)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,49 @@
+package flight
+
+import "sync"
+
+// ring is one pre-allocated record ring. A ring normally belongs to one
+// worker, but scratch pooling can hand the same ring to two live workers,
+// so writes take the (uncontended, allocation-free) mutex; readers take
+// the same lock only on the rare forensics path.
+type ring struct {
+	mu sync.Mutex
+	// buf is the fixed slot array; slot (pos-1) % len(buf) holds the
+	// newest record.
+	buf []Record
+	// pos counts records ever written.
+	pos uint64
+}
+
+func newRing(size int) *ring {
+	return &ring{buf: make([]Record, size)}
+}
+
+// put copies one record into the next slot.
+func (r *ring) put(rec *Record) {
+	r.mu.Lock()
+	r.buf[r.pos%uint64(len(r.buf))] = *rec
+	r.pos++
+	r.mu.Unlock()
+}
+
+// snapshot appends the ring's records to out, newest first.
+func (r *ring) snapshot(out []Record) []Record {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.pos
+	if n > uint64(len(r.buf)) {
+		n = uint64(len(r.buf))
+	}
+	for i := uint64(0); i < n; i++ {
+		out = append(out, r.buf[(r.pos-1-i)%uint64(len(r.buf))])
+	}
+	return out
+}
+
+// written reports how many records were ever recorded into this ring.
+func (r *ring) written() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.pos
+}

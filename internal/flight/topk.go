@@ -1,0 +1,114 @@
+package flight
+
+import (
+	"sort"
+	"sync"
+)
+
+// TopKeyBytes bounds the display form kept per heavy-hitter entry (the
+// tail survives truncation, matching Record.Suffix semantics).
+const TopKeyBytes = 48
+
+// topEntry is one space-saving counter slot.
+type topEntry struct {
+	hash  uint64
+	count uint64
+	// err bounds the overestimation: the true count of this key is in
+	// [count-err, count].
+	err    uint64
+	keyLen uint8
+	key    [TopKeyBytes]byte
+}
+
+// TopK is a space-saving (Metwally et al.) heavy-hitter sketch over an
+// unbounded key stream in bounded memory: k counter slots plus a hash
+// index. A new key beyond capacity replaces the current minimum,
+// inheriting its count as overestimation error, so genuinely heavy keys
+// always surface with count >= true frequency. Offers run under a mutex
+// and allocate nothing in the steady state (the index map stops growing
+// once k distinct slots exist).
+type TopK struct {
+	mu    sync.Mutex
+	idx   map[uint64]int // key hash -> slot index
+	slots []topEntry
+	k     int
+}
+
+// NewTopK builds a sketch with k slots (minimum 1).
+func NewTopK(k int) *TopK {
+	if k < 1 {
+		k = 1
+	}
+	return &TopK{k: k, idx: make(map[uint64]int, k), slots: make([]topEntry, 0, k)}
+}
+
+// Offer counts one occurrence of the key identified by hash. key is the
+// display form, copied (tail-truncated to TopKeyBytes) on first sight.
+// Distinct keys colliding on hash merge; with 64-bit FNV over the tiny
+// key spaces involved that is vanishingly rare and costs only accuracy.
+func (t *TopK) Offer(hash uint64, key []byte) {
+	t.mu.Lock()
+	if i, ok := t.idx[hash]; ok {
+		t.slots[i].count++
+		t.mu.Unlock()
+		return
+	}
+	if len(t.slots) < t.k {
+		t.slots = append(t.slots, topEntry{hash: hash, count: 1})
+		i := len(t.slots) - 1
+		t.slots[i].setKey(key)
+		t.idx[hash] = i
+		t.mu.Unlock()
+		return
+	}
+	// Replace the minimum: the newcomer inherits its count (+1) and
+	// carries the old count as error.
+	min := 0
+	for i := 1; i < len(t.slots); i++ {
+		if t.slots[i].count < t.slots[min].count {
+			min = i
+		}
+	}
+	e := &t.slots[min]
+	delete(t.idx, e.hash)
+	e.err = e.count
+	e.count++
+	e.hash = hash
+	e.setKey(key)
+	t.idx[hash] = min
+	t.mu.Unlock()
+}
+
+func (e *topEntry) setKey(key []byte) {
+	if len(key) > TopKeyBytes {
+		key = key[len(key)-TopKeyBytes:]
+	}
+	e.keyLen = uint8(copy(e.key[:], key))
+}
+
+// TopItem is one reported heavy hitter.
+type TopItem struct {
+	// Key is the display form (copied out of the sketch).
+	Key []byte
+	// Count is the estimated frequency (an overestimate).
+	Count uint64
+	// Err bounds the overestimation: true count >= Count-Err.
+	Err uint64
+}
+
+// Snapshot returns the current heavy hitters, highest count first.
+func (t *TopK) Snapshot() []TopItem {
+	t.mu.Lock()
+	out := make([]TopItem, 0, len(t.slots))
+	for i := range t.slots {
+		e := &t.slots[i]
+		out = append(out, TopItem{
+			Key:   append([]byte(nil), e.key[:e.keyLen]...),
+			Count: e.count,
+			Err:   e.err,
+		})
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Count > out[j].Count })
+	return out
+}

@@ -1,0 +1,118 @@
+package flight
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func offerStr(t *TopK, key string) {
+	t.Offer(fnv1a64([]byte(key)), []byte(key))
+}
+
+func TestTopKExact(t *testing.T) {
+	tk := NewTopK(4)
+	for i, n := range []int{7, 5, 3, 1} {
+		key := fmt.Sprintf("key-%d", i)
+		for j := 0; j < n; j++ {
+			offerStr(tk, key)
+		}
+	}
+	got := tk.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("slots = %d", len(got))
+	}
+	for i, want := range []uint64{7, 5, 3, 1} {
+		if got[i].Count != want || got[i].Err != 0 {
+			t.Fatalf("slot %d = count %d err %d, want count %d err 0",
+				i, got[i].Count, got[i].Err, want)
+		}
+	}
+	if string(got[0].Key) != "key-0" {
+		t.Fatalf("top key = %q", got[0].Key)
+	}
+}
+
+// TestTopKHeavyHitterSurvives is the space-saving guarantee that matters
+// for flood forensics: one genuinely heavy key must surface on top of an
+// arbitrary churn of one-off keys, with its count never underestimated.
+func TestTopKHeavyHitterSurvives(t *testing.T) {
+	tk := NewTopK(8)
+	const heavy = 200
+	for i := 0; i < 1000; i++ {
+		if i%5 == 0 {
+			offerStr(tk, "flood.ex.test.")
+		}
+		offerStr(tk, fmt.Sprintf("noise-%d", i))
+	}
+	got := tk.Snapshot()
+	if string(got[0].Key) != "flood.ex.test." {
+		t.Fatalf("top key = %q, want the heavy hitter", got[0].Key)
+	}
+	top := got[0]
+	if top.Count < heavy {
+		t.Fatalf("heavy hitter count %d underestimates true frequency %d", top.Count, heavy)
+	}
+	if top.Count-top.Err > heavy {
+		t.Fatalf("count-err = %d exceeds true frequency %d: error bound broken",
+			top.Count-top.Err, heavy)
+	}
+}
+
+func TestTopKEvictionInheritsError(t *testing.T) {
+	tk := NewTopK(2)
+	offerStr(tk, "a") // count 1
+	offerStr(tk, "a") // count 2
+	offerStr(tk, "b") // count 1
+	offerStr(tk, "c") // evicts b: count 2 (1+1), err 1
+	got := tk.Snapshot()
+	if len(got) != 2 {
+		t.Fatalf("slots = %d", len(got))
+	}
+	var c *TopItem
+	for i := range got {
+		if string(got[i].Key) == "c" {
+			c = &got[i]
+		}
+		if string(got[i].Key) == "b" {
+			t.Fatal("evicted key still present")
+		}
+	}
+	if c == nil || c.Count != 2 || c.Err != 1 {
+		t.Fatalf("newcomer slot = %+v, want count 2 err 1", c)
+	}
+	// The evicted key's slot is reusable: re-offering "c" counts on top.
+	offerStr(tk, "c")
+	for _, it := range tk.Snapshot() {
+		if string(it.Key) == "c" && it.Count != 3 {
+			t.Fatalf("re-offer count = %d", it.Count)
+		}
+	}
+}
+
+func TestTopKLongKeyKeepsTail(t *testing.T) {
+	tk := NewTopK(1)
+	key := strings.Repeat("x", 40) + ".attacked.ex.test."
+	offerStr(tk, key)
+	got := tk.Snapshot()[0]
+	if len(got.Key) != TopKeyBytes || !strings.HasSuffix(string(got.Key), ".attacked.ex.test.") {
+		t.Fatalf("stored key = %q (len %d)", got.Key, len(got.Key))
+	}
+}
+
+func TestTopKOfferZeroAlloc(t *testing.T) {
+	tk := NewTopK(4)
+	keys := [][]byte{[]byte("a."), []byte("b."), []byte("c."), []byte("d."), []byte("e.")}
+	hashes := make([]uint64, len(keys))
+	for i, k := range keys {
+		hashes[i] = fnv1a64(k)
+		tk.Offer(hashes[i], k) // fill slots; "e." starts the eviction churn
+	}
+	i := 0
+	if got := testing.AllocsPerRun(500, func() {
+		tk.Offer(hashes[i%len(hashes)], keys[i%len(keys)])
+		i++
+	}); got != 0 {
+		t.Fatalf("Offer allocates %v/op (hits and evictions alike must be alloc-free)", got)
+	}
+}

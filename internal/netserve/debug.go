@@ -1,0 +1,149 @@
+package netserve
+
+// This file is the live forensics surface: JSON endpoints mounted on the
+// metrics listener (obs.ServeWith) that expose what the flight recorder,
+// the query-of-death quarantine, and the compiled-view machinery are seeing
+// right now. The paper's operators diagnose attacks from per-nameserver
+// telemetry; these endpoints are that workflow over HTTP — curl /debug/topk
+// during a flood and the attack suffix is the top entry.
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"akamaidns/internal/flight"
+	"akamaidns/internal/qod"
+)
+
+// RegisterDebug mounts the forensics endpoints on mux:
+//
+//	/debug/queries  recent flight-recorder records (filters: n, verdict,
+//	                rcode, qtype, suffix, anomalous)
+//	/debug/topk     heavy-hitter qname suffixes, qtypes, and resolvers
+//	/debug/qod      quarantine table, strikes, and watchdog state
+//	/debug/views    zone router/view generations and rebuild counts
+//
+// Endpoints whose subsystem is disabled report 404.
+func (s *Server) RegisterDebug(mux *http.ServeMux) {
+	if s.flight != nil {
+		mux.Handle("/debug/queries", s.flight.QueriesHandler())
+		mux.Handle("/debug/topk", s.flight.TopKHandler())
+	}
+	mux.HandleFunc("/debug/qod", s.qodDebug)
+	mux.HandleFunc("/debug/views", s.viewsDebug)
+}
+
+// FlightRecorder exposes the query flight recorder (nil when disabled).
+func (s *Server) FlightRecorder() *flight.Recorder { return s.flight }
+
+// qodSignatureJSON is one quarantined signature.
+type qodSignatureJSON struct {
+	Suffix    string `json:"suffix"`
+	QType     uint16 `json:"qtype"`
+	Strikes   int    `json:"strikes"`
+	ExpiresIn string `json:"expires_in"`
+}
+
+// qodDebugJSON is the /debug/qod document.
+type qodDebugJSON struct {
+	Enabled     bool               `json:"enabled"`
+	Entries     int                `json:"entries"`
+	Capacity    int                `json:"capacity"`
+	Admitted    uint64             `json:"admitted_total"`
+	Refused     uint64             `json:"refused_total"`
+	Panics      uint64             `json:"contained_panics_total"`
+	Signatures  []qodSignatureJSON `json:"signatures"`
+	Watchdog    *watchdogJSON      `json:"watchdog,omitempty"`
+	Overload    string             `json:"overload_level"`
+	InflightNow int64              `json:"inflight"`
+}
+
+type watchdogJSON struct {
+	Suspended bool              `json:"suspended"`
+	Trips     map[string]uint64 `json:"trips"`
+}
+
+// qodDebug serves the quarantine table and strike history alongside the
+// watchdog and ladder state an operator needs to read it.
+func (s *Server) qodDebug(w http.ResponseWriter, req *http.Request) {
+	now := time.Now()
+	doc := qodDebugJSON{
+		Enabled:    s.qodGuard != nil,
+		Refused:    s.Metrics.QoDRefused.Load(),
+		Panics:     s.Metrics.Panics.Load(),
+		Signatures: []qodSignatureJSON{},
+		Overload:   qod.LevelName(s.OverloadLevel()),
+	}
+	if s.qodGuard != nil {
+		doc.Entries = s.qodGuard.Len()
+		doc.Capacity = s.qodGuard.Cap()
+		doc.Admitted = s.qodGuard.Admitted()
+		for _, sig := range s.qodGuard.Snapshot() {
+			doc.Signatures = append(doc.Signatures, qodSignatureJSON{
+				Suffix:    sig.Suffix,
+				QType:     sig.QType,
+				Strikes:   sig.Strikes,
+				ExpiresIn: sig.Expires.Sub(now).Round(time.Millisecond).String(),
+			})
+		}
+	}
+	if s.watchdog != nil {
+		doc.Watchdog = &watchdogJSON{
+			Suspended: s.watchdog.Suspended(now),
+			Trips: map[string]uint64{
+				qod.TripPanic:     s.watchdog.Trips(qod.TripPanic),
+				qod.TripMalformed: s.watchdog.Trips(qod.TripMalformed),
+				qod.TripLatency:   s.watchdog.Trips(qod.TripLatency),
+			},
+		}
+	}
+	if s.ladder != nil {
+		doc.InflightNow = s.ladder.Inflight()
+	}
+	writeDebugJSON(w, doc)
+}
+
+// viewsZoneJSON is one hosted zone's compiled-view identity.
+type viewsZoneJSON struct {
+	Origin  string `json:"origin"`
+	Serial  uint32 `json:"serial"`
+	Records int    `json:"records"`
+}
+
+// viewsDebugJSON is the /debug/views document.
+type viewsDebugJSON struct {
+	StoreGen       uint64          `json:"store_gen"`
+	ViewRebuilds   uint64          `json:"view_rebuilds_total"`
+	RouterRebuilds uint64          `json:"router_rebuilds_total"`
+	ViewServed     uint64          `json:"view_served_total"`
+	Zones          []viewsZoneJSON `json:"zones"`
+}
+
+// viewsDebug serves the zone router/view generation and rebuild stats — a
+// rebuild storm or a stale serial is visible at a glance.
+func (s *Server) viewsDebug(w http.ResponseWriter, req *http.Request) {
+	store := s.Engine.Store
+	doc := viewsDebugJSON{
+		StoreGen:       store.Gen(),
+		ViewRebuilds:   store.ViewRebuilds(),
+		RouterRebuilds: store.RouterRebuilds(),
+		ViewServed:     s.Metrics.ViewServed.Load(),
+		Zones:          []viewsZoneJSON{},
+	}
+	for origin, serial := range store.Serials() {
+		zj := viewsZoneJSON{Origin: origin.String(), Serial: serial}
+		if z := store.Get(origin); z != nil {
+			zj.Records = z.NumRecords()
+		}
+		doc.Zones = append(doc.Zones, zj)
+	}
+	writeDebugJSON(w, doc)
+}
+
+func writeDebugJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -27,6 +27,7 @@ import (
 
 	"akamaidns/internal/dnswire"
 	"akamaidns/internal/filters"
+	"akamaidns/internal/flight"
 	"akamaidns/internal/nameserver"
 	"akamaidns/internal/obs"
 	"akamaidns/internal/qod"
@@ -95,7 +96,20 @@ type Config struct {
 	// MaxTCPQueries bounds queries served per TCP connection before it is
 	// closed (0 = default 1024; negative = unbounded).
 	MaxTCPQueries int
+
+	// Flight enables the query flight recorder (nil disables): sampled
+	// fixed-size query records with anomaly escalation, heavy-hitter
+	// sketches, and the /debug/queries //debug/topk forensics surface.
+	// DefaultConfig attaches one at default sampling.
+	Flight *flight.Config
+	// LatencySample sets the 1-in-N answer-latency sampling period that
+	// feeds the watchdog latency tripwire and the flight recorder's
+	// latency fields (0 = default 64; negative disables timing).
+	LatencySample int
 }
+
+// DefaultLatencySample is the 1-in-N answer-latency sampling period.
+const DefaultLatencySample = 64
 
 // TCP connection defaults.
 const (
@@ -112,6 +126,7 @@ func DefaultConfig() Config {
 		ReadTimeout:   5 * time.Second,
 		AllowTransfer: true,
 		Watchdog:      &qod.WatchdogConfig{},
+		Flight:        &flight.Config{},
 	}
 }
 
@@ -184,6 +199,11 @@ type Server struct {
 	minimizing atomic.Bool
 	shed       [qod.LevelSaturated + 1]*obs.Counter
 
+	// flight is the query flight recorder (nil when disabled); latEvery is
+	// the 1-in-N answer-latency sampling period (0 when timing is off).
+	flight   *flight.Recorder
+	latEvery uint32
+
 	// Graceful drain and TCP connection bookkeeping.
 	draining atomic.Bool
 	tcpSem   chan struct{}
@@ -242,6 +262,23 @@ func NewWithRegistry(cfg Config, eng *nameserver.Engine, pipeline *filters.Pipel
 		s.ladder = qod.NewLadder(cfg.MaxInflight)
 	}
 	s.protected = s.qodGuard != nil || s.watchdog != nil || s.ladder != nil
+	if cfg.Flight != nil {
+		s.flight = flight.New(*cfg.Flight, reg)
+	}
+	if latN := cfg.LatencySample; latN >= 0 && (s.watchdog != nil || s.flight != nil) {
+		if latN == 0 {
+			latN = DefaultLatencySample
+		}
+		s.latEvery = uint32(latN)
+	}
+	reg.GaugeFunc(obs.MetricLatencySampleRate,
+		"Fraction of handled queries whose answer latency is measured (0 = timing disabled).",
+		func() float64 {
+			if s.latEvery == 0 {
+				return 0
+			}
+			return 1 / float64(s.latEvery)
+		})
 	maxConns := cfg.MaxTCPConns
 	if maxConns == 0 {
 		maxConns = DefaultMaxTCPConns
@@ -314,8 +351,14 @@ type scratch struct {
 	// journal is the worker's crash journal, built lazily on the first
 	// protected packet and kept for the scratch's lifetime.
 	journal *qod.Journal
-	// tick drives the watchdog's 1-in-N answer-latency sampling.
+	// tick drives the 1-in-N answer-latency sampling.
 	tick uint32
+	// fw is the flight-recorder capture handle, built lazily on the first
+	// packet and kept for the scratch's lifetime.
+	fw *flight.Worker
+	// note accumulates the flight-recorder sample for the packet in hand;
+	// the serving tiers stamp verdict/rcode/qname as they dispose of it.
+	note flight.Sample
 }
 
 // cacheIntent carries a fast-path miss into the slow path: the key bytes
@@ -487,15 +530,36 @@ func (s *Server) serveUDP(conn *net.UDPConn) {
 	}
 }
 
-// handlePacket serves one message under the self-protective layer (on by
+// handlePacket serves one message and, when the flight recorder is on,
+// offers the disposal note the serving tiers stamped into the scratch. The
+// returned slice is valid until the next handlePacket call with the same
+// scratch.
+func (s *Server) handlePacket(wire []byte, src netip.AddrPort, tcp bool, sc *scratch) []byte {
+	if s.flight == nil {
+		return s.handle(wire, src, tcp, sc)
+	}
+	sc.note = flight.Sample{Src: src, TCP: tcp, Latency: -1, Verdict: flight.VerdictNone}
+	resp := s.handle(wire, src, tcp, sc)
+	if sc.note.Verdict != flight.VerdictNone {
+		// The scratch pool is process-global: a pooled scratch may carry a
+		// capture handle bound to another (test) server's recorder, so the
+		// lazy bind re-checks ownership, not just presence.
+		if sc.fw == nil || sc.fw.Recorder() != s.flight {
+			sc.fw = s.flight.Worker()
+		}
+		sc.fw.Observe(sc.note)
+	}
+	return resp
+}
+
+// handle serves one message under the self-protective layer (on by
 // default): the overload ladder, the pre-decode quarantine check, the crash
 // journal, and the recover boundary around dispatch. The steady-state
 // overhead is a handful of nil checks, one atomic quarantine-length load,
-// and a bounded copy into the journal slot. The returned slice is valid
-// until the next handlePacket call with the same scratch.
-func (s *Server) handlePacket(wire []byte, src netip.AddrPort, tcp bool, sc *scratch) (resp []byte) {
+// and a bounded copy into the journal slot.
+func (s *Server) handle(wire []byte, src netip.AddrPort, tcp bool, sc *scratch) (resp []byte) {
 	if !s.protected {
-		return s.dispatch(wire, src, tcp, sc, qod.LevelFull)
+		return s.dispatchMaybeTimed(wire, src, tcp, sc, qod.LevelFull)
 	}
 	level := qod.LevelFull
 	if s.ladder != nil {
@@ -507,6 +571,7 @@ func (s *Server) handlePacket(wire []byte, src netip.AddrPort, tcp bool, sc *scr
 			// accounted for.
 			s.shed[qod.LevelSaturated].Add(1)
 			sc.insert = cacheIntent{}
+			sc.note.Verdict = flight.VerdictShed
 			return nil
 		}
 	}
@@ -522,6 +587,10 @@ func (s *Server) handlePacket(wire []byte, src netip.AddrPort, tcp bool, sc *scr
 				case qod.Blocked:
 					s.Metrics.QoDRefused.Add(1)
 					sc.insert = cacheIntent{}
+					sc.note.Verdict = flight.VerdictQuarantined
+					sc.note.RCode = uint8(dnswire.RCodeRefused)
+					sc.note.QnameWire = v.QnameWire(wire)
+					sc.note.QType = uint16(v.QType)
 					out := refusedFor(wire, v.QnameLen+4, sc.out[:0])
 					if out != nil {
 						sc.out = out
@@ -545,23 +614,72 @@ func (s *Server) handlePacket(wire []byte, src netip.AddrPort, tcp bool, sc *scr
 				resp = nil
 				sc.insert = cacheIntent{}
 				s.containPanic(r, wire, sc.journal)
+				s.noteCrash(wire, sc)
 			}
 		}()
 	}
-	if s.watchdog != nil {
-		sc.tick++
-		if sc.tick&latencySampleMask == 0 {
-			resp = s.dispatchTimed(wire, src, tcp, sc, level)
-		} else {
-			resp = s.dispatch(wire, src, tcp, sc, level)
-		}
-	} else {
-		resp = s.dispatch(wire, src, tcp, sc, level)
-	}
+	resp = s.dispatchMaybeTimed(wire, src, tcp, sc, level)
 	if probation != nil {
 		s.qodGuard.Acquit(probation)
 	}
 	return resp
+}
+
+// dispatchMaybeTimed routes 1-in-N packets through the timed dispatch that
+// feeds the watchdog latency tripwire and the flight recorder's latency
+// fields; the rest never touch the clock.
+func (s *Server) dispatchMaybeTimed(wire []byte, src netip.AddrPort, tcp bool, sc *scratch, level int) []byte {
+	if s.latEvery > 0 {
+		sc.tick++
+		if sc.tick >= s.latEvery {
+			sc.tick = 0
+			return s.dispatchTimed(wire, src, tcp, sc, level)
+		}
+	}
+	return s.dispatch(wire, src, tcp, sc, level)
+}
+
+// noteQuery stamps the flight note from a decoded message (slow path; Name
+// strings are interned, so this never allocates).
+func noteQuery(sc *scratch, q *dnswire.Message, verdict flight.Verdict, rcode uint8, zone string) {
+	sc.note.Verdict = verdict
+	sc.note.RCode = rcode
+	sc.note.Zone = zone
+	if len(q.Questions) == 1 {
+		sc.note.Qname = q.Questions[0].Name.String()
+		sc.note.QType = uint16(q.Questions[0].Type)
+	}
+}
+
+// noteShed stamps the flight note for a pipeline or ladder shed.
+func (s *Server) noteShed(sc *scratch, qname string, qtype uint16, rcode uint8) {
+	sc.note.Verdict = flight.VerdictShed
+	sc.note.Qname = qname
+	sc.note.QType = qtype
+	sc.note.RCode = rcode
+}
+
+// zoneLabel renders a zone origin for the flight rollup ("" when none
+// matched; Name strings are interned, so this never allocates).
+func zoneLabel(n dnswire.Name) string {
+	if n.IsZero() {
+		return ""
+	}
+	return n.String()
+}
+
+// noteCrash stamps the flight note for a contained panic (the quarantine
+// and journal already have the packet; the recorder gets the verdict).
+func (s *Server) noteCrash(wire []byte, sc *scratch) {
+	if s.flight == nil {
+		return
+	}
+	sc.note.Verdict = flight.VerdictCrashed
+	sc.note.RCode = 0
+	if v, ok := dnswire.ParseQueryView(wire); ok {
+		sc.note.QnameWire = v.QnameWire(wire)
+		sc.note.QType = uint16(v.QType)
+	}
 }
 
 // dispatch is the unguarded serving pipeline, a ladder of progressively
@@ -588,8 +706,12 @@ func (s *Server) dispatch(wire []byte, src netip.AddrPort, tcp bool, sc *scratch
 		// this cheap wire-level REFUSED.
 		s.shed[qod.LevelDegraded].Add(1)
 		sc.insert = cacheIntent{}
+		sc.note.Verdict = flight.VerdictShed
 		if viewOK {
+			sc.note.QnameWire = v.QnameWire(wire)
+			sc.note.QType = uint16(v.QType)
 			if out := refusedFor(wire, v.QnameLen+4, sc.out[:0]); out != nil {
+				sc.note.RCode = uint8(dnswire.RCodeRefused)
 				sc.out = out
 				return out
 			}
@@ -681,18 +803,26 @@ func (s *Server) handleFast(wire []byte, v dnswire.QueryView, src netip.AddrPort
 			switch s.admission.Admit(score) {
 			case queue.Discarded:
 				s.Metrics.Discarded.Add(1)
+				s.noteShed(sc, e.Name.String(), uint16(v.QType), 0)
 				return nil, true
 			case queue.TailDropped:
 				s.Metrics.TailDropped.Add(1)
+				s.noteShed(sc, e.Name.String(), uint16(v.QType), 0)
 				return nil, true
 			}
 		} else if score >= s.Cfg.Smax {
 			s.Metrics.Discarded.Add(1)
+			s.noteShed(sc, e.Name.String(), uint16(v.QType), 0)
 			return nil, true
 		}
 		span.Mark(obs.StageQueue)
 	}
 	span.Mark(obs.StageLookup)
+	sc.note.Verdict = flight.VerdictCached
+	sc.note.RCode = uint8(e.RCode)
+	sc.note.QnameWire = v.QnameWire(wire)
+	sc.note.QType = uint16(v.QType)
+	sc.note.Zone = zoneLabel(e.Zone)
 	out := append(sc.out[:0], e.Wire...)
 	out[0], out[1] = byte(v.ID>>8), byte(v.ID)
 	if v.RecursionDesired() {
@@ -724,8 +854,10 @@ func (s *Server) handleSlow(wire []byte, src netip.AddrPort, tcp bool, sc *scrat
 		if s.watchdog != nil {
 			s.watchdog.RecordMalformed(time.Now())
 		}
+		sc.note.Verdict = flight.VerdictError
 		out := formErrFor(wire, sc.out[:0])
 		if out != nil {
+			sc.note.RCode = uint8(dnswire.RCodeFormErr)
 			sc.out = out
 		}
 		return out
@@ -758,6 +890,7 @@ func (s *Server) handleSlow(wire []byte, src netip.AddrPort, tcp bool, sc *scrat
 		if s.Cfg.RequireCookies && !tcp && !cookieValid {
 			// Refuse, attaching the correct cookie so a real (non-spoofed)
 			// client can immediately retry with it.
+			noteQuery(sc, q, flight.VerdictServed, uint8(dnswire.RCodeRefused), "")
 			r := dnswire.NewResponse(q)
 			r.RCode = dnswire.RCodeRefused
 			opt := dnswire.NewOPT(1232)
@@ -799,14 +932,17 @@ func (s *Server) handleSlow(wire []byte, src netip.AddrPort, tcp bool, sc *scrat
 			switch s.admission.Admit(score) {
 			case queue.Discarded:
 				s.Metrics.Discarded.Add(1)
+				noteQuery(sc, q, flight.VerdictShed, 0, "")
 				return nil
 			case queue.TailDropped:
 				s.Metrics.TailDropped.Add(1)
+				noteQuery(sc, q, flight.VerdictShed, 0, "")
 				return nil
 			}
 		} else if score >= s.Cfg.Smax {
 			// Pipeline attached after construction: no ladder, plain discard.
 			s.Metrics.Discarded.Add(1)
+			noteQuery(sc, q, flight.VerdictShed, 0, "")
 			return nil
 		}
 		if level >= qod.LevelCleanOnly && s.admission != nil && s.admission.Rung(score) > 0 {
@@ -814,6 +950,7 @@ func (s *Server) handleSlow(wire []byte, src netip.AddrPort, tcp bool, sc *scrat
 			// the lowest-penalty rung are worth the remaining capacity;
 			// scored tiers above it are refused outright.
 			s.shed[qod.LevelCleanOnly].Add(1)
+			noteQuery(sc, q, flight.VerdictShed, uint8(dnswire.RCodeRefused), "")
 			r := dnswire.NewResponse(q)
 			r.RCode = dnswire.RCodeRefused
 			out, err := r.AppendPack(sc.out[:0])
@@ -847,8 +984,10 @@ func (s *Server) handleSlow(wire []byte, src netip.AddrPort, tcp bool, sc *scrat
 		}
 		// The real process would die; over sockets we emulate by not
 		// answering (the resolver times out), mirroring §4.2.4.
+		noteQuery(sc, q, flight.VerdictCrashed, 0, "")
 		return nil
 	}
+	noteQuery(sc, q, flight.VerdictServed, uint8(resp.RCode), zoneLabel(matched))
 	if resp.RCode == dnswire.RCodeFormErr {
 		s.Metrics.FormErr.Add(1)
 	}

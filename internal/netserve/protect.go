@@ -30,18 +30,19 @@ var errQueryOfDeath = errors.New("netserve: query of death (engine crashed)")
 // RD are the only request bits that steer query-processing code paths.
 const sigFlagMask = qod.FlagMaskOpcode | qod.FlagMaskRD
 
-// latencySampleMask samples 1-in-64 handled packets for the watchdog's
-// answer-latency tripwire, keeping time.Now off the common path.
-const latencySampleMask = 63
-
 // dispatchTimed is the 1-in-N sampled dispatch feeding the watchdog's
-// answer-latency tripwire; kept out of line so the common path never
-// touches the clock.
+// answer-latency tripwire and the flight recorder's latency fields; kept
+// out of line so the common path never touches the clock. The period is
+// Config.LatencySample (default DefaultLatencySample).
 func (s *Server) dispatchTimed(wire []byte, src netip.AddrPort, tcp bool, sc *scratch, level int) []byte {
 	t0 := time.Now()
 	resp := s.dispatch(wire, src, tcp, sc, level)
 	now := time.Now()
-	s.watchdog.RecordLatency(now, now.Sub(t0))
+	d := now.Sub(t0)
+	if s.watchdog != nil {
+		s.watchdog.RecordLatency(now, d)
+	}
+	sc.note.Latency = d
 	return resp
 }
 

@@ -14,6 +14,7 @@ import (
 
 	"akamaidns/internal/dnswire"
 	"akamaidns/internal/filters"
+	"akamaidns/internal/flight"
 	"akamaidns/internal/nameserver"
 	"akamaidns/internal/obs"
 	"akamaidns/internal/qod"
@@ -97,15 +98,18 @@ func (s *Server) handleView(wire []byte, v dnswire.QueryView, src netip.AddrPort
 			case queue.Discarded:
 				s.Metrics.Discarded.Add(1)
 				sc.insert = cacheIntent{}
+				s.noteViewShed(sc, wire, v, 0)
 				return nil, true
 			case queue.TailDropped:
 				s.Metrics.TailDropped.Add(1)
 				sc.insert = cacheIntent{}
+				s.noteViewShed(sc, wire, v, 0)
 				return nil, true
 			}
 			if level >= qod.LevelCleanOnly && s.admission.Rung(score) > 0 {
 				s.shed[qod.LevelCleanOnly].Add(1)
 				sc.insert = cacheIntent{}
+				s.noteViewShed(sc, wire, v, uint8(dnswire.RCodeRefused))
 				out := refusedFor(wire, v.QnameLen+4, sc.out[:0])
 				if out != nil {
 					sc.out = out
@@ -115,12 +119,17 @@ func (s *Server) handleView(wire []byte, v dnswire.QueryView, src netip.AddrPort
 		} else if score >= s.Cfg.Smax {
 			s.Metrics.Discarded.Add(1)
 			sc.insert = cacheIntent{}
+			s.noteViewShed(sc, wire, v, 0)
 			return nil, true
 		}
 		span.Mark(obs.StageQueue)
 	}
 	if !found {
 		sc.insert = cacheIntent{}
+		sc.note.Verdict = flight.VerdictView
+		sc.note.RCode = uint8(dnswire.RCodeRefused)
+		sc.note.QnameWire = v.QnameWire(wire)
+		sc.note.QType = uint16(v.QType)
 		out := viewRefused(wire, v, sc.out[:0])
 		sc.out = out
 		span.Mark(obs.StageLookup)
@@ -192,7 +201,21 @@ func (s *Server) handleView(wire []byte, v dnswire.QueryView, src netip.AddrPort
 	span.Mark(obs.StageWrite)
 	span.End()
 	s.Metrics.ViewServed.Add(1)
+	sc.note.Verdict = flight.VerdictView
+	sc.note.RCode = uint8(rcode)
+	sc.note.QnameWire = v.QnameWire(wire)
+	sc.note.QType = uint16(v.QType)
+	sc.note.Zone = zoneLabel(view.Origin())
 	return out, true
+}
+
+// noteViewShed stamps the flight note for a view-tier shed (qname still in
+// wire form).
+func (s *Server) noteViewShed(sc *scratch, wire []byte, v dnswire.QueryView, rcode uint8) {
+	sc.note.Verdict = flight.VerdictShed
+	sc.note.RCode = rcode
+	sc.note.QnameWire = v.QnameWire(wire)
+	sc.note.QType = uint16(v.QType)
 }
 
 // viewRefused builds the REFUSED response for a query outside every hosted

@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// Version and Commit identify the build. Release builds stamp them via
+//
+//	go build -ldflags "-X akamaidns/internal/obs.Version=v1.2.3 \
+//	                   -X akamaidns/internal/obs.Commit=abcdef1"
+//
+// Unstamped builds fall back to the module version and VCS revision Go
+// embeds in the binary, or "dev"/"unknown".
+var (
+	Version = ""
+	Commit  = ""
+)
+
+// buildIdent resolves the effective version/commit pair.
+func buildIdent() (version, commit string) {
+	version, commit = Version, Commit
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if version == "" && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			version = bi.Main.Version
+		}
+		if commit == "" {
+			for _, s := range bi.Settings {
+				if s.Key == "vcs.revision" {
+					commit = s.Value
+					break
+				}
+			}
+		}
+	}
+	if version == "" {
+		version = "dev"
+	}
+	if commit == "" {
+		commit = "unknown"
+	}
+	return version, commit
+}
+
+// VersionString renders the one-line identity the -version flags print.
+func VersionString(program string) string {
+	version, commit := buildIdent()
+	return program + " " + version + " (" + commit + ", " + runtime.Version() + ")"
+}
+
+// RegisterBuildInfo registers the akamaidns_build_info gauge: constant 1
+// with the build identity in labels, the Prometheus idiom for joining
+// version metadata onto any other series.
+func RegisterBuildInfo(r *Registry) {
+	version, commit := buildIdent()
+	r.GaugeFunc(MetricBuildInfo,
+		"Build identity; value is always 1.",
+		func() float64 { return 1 },
+		"version", version, "commit", commit, "go_version", runtime.Version())
+}

@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestVersionString(t *testing.T) {
+	defer func(v, c string) { Version, Commit = v, c }(Version, Commit)
+	Version, Commit = "v1.2.3", "abcdef1"
+	got := VersionString("authdns")
+	want := "authdns v1.2.3 (abcdef1, " + runtime.Version() + ")"
+	if got != want {
+		t.Fatalf("VersionString = %q, want %q", got, want)
+	}
+}
+
+func TestVersionStringUnstamped(t *testing.T) {
+	defer func(v, c string) { Version, Commit = v, c }(Version, Commit)
+	Version, Commit = "", ""
+	got := VersionString("chaos")
+	// Test binaries have no release stamp; whatever buildIdent resolves,
+	// the shape must hold and nothing may be empty.
+	if !strings.HasPrefix(got, "chaos ") || !strings.Contains(got, runtime.Version()) {
+		t.Fatalf("VersionString = %q", got)
+	}
+	if strings.Contains(got, " (") && strings.Contains(got, " ,") {
+		t.Fatalf("empty commit leaked: %q", got)
+	}
+}
+
+func TestRegisterBuildInfo(t *testing.T) {
+	defer func(v, c string) { Version, Commit = v, c }(Version, Commit)
+	Version, Commit = "v9.9.9", "cafe123"
+	reg := NewRegistry()
+	RegisterBuildInfo(reg)
+	var b strings.Builder
+	if err := WriteText(&b, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	want := MetricBuildInfo +
+		`{commit="cafe123",go_version="` + runtime.Version() + `",version="v9.9.9"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("exposition missing %q:\n%s", want, b.String())
+	}
+}

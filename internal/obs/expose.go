@@ -101,6 +101,12 @@ type HTTPServer struct {
 // Serve starts the exposition endpoint on addr (":0" picks an ephemeral
 // port; read it back with Addr). healthy may be nil.
 func Serve(addr string, r *Registry, healthy func() bool) (*HTTPServer, error) {
+	return ServeWith(addr, r, healthy, nil)
+}
+
+// ServeWith is Serve with a hook to mount extra handlers (forensics
+// endpoints, pprof) on the same listener. mount may be nil.
+func ServeWith(addr string, r *Registry, healthy func() bool, mount func(*http.ServeMux)) (*HTTPServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -108,6 +114,9 @@ func Serve(addr string, r *Registry, healthy func() bool) (*HTTPServer, error) {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", Handler(r))
 	mux.Handle("/healthz", HealthHandler(healthy))
+	if mount != nil {
+		mount(mux)
+	}
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go srv.Serve(ln)
 	return &HTTPServer{ln: ln, srv: srv}, nil

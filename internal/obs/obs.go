@@ -84,6 +84,15 @@ const (
 	// Query-lifecycle tracing.
 	MetricQueryDuration = "akamaidns_query_duration_seconds"       // end-to-end histogram
 	MetricStageDuration = "akamaidns_query_stage_duration_seconds" // label: stage
+
+	// Query flight recorder.
+	MetricFlightRecordsTotal = "akamaidns_flight_records_total" // label: reason
+	MetricFlightSampleEvery  = "akamaidns_flight_sample_every"
+	MetricFlightZoneRcode    = "akamaidns_flight_zone_rcode_records_total" // labels: zone, rcode
+
+	// Serving-path instrumentation knobs and process identity.
+	MetricLatencySampleRate = "akamaidns_server_latency_sample_rate"
+	MetricBuildInfo         = "akamaidns_build_info" // labels: version, commit, go_version
 )
 
 // Kind classifies a metric family.

@@ -230,6 +230,9 @@ func NewQuarantine(max int, ttl time.Duration) *Quarantine {
 // Len reports the current signature count (lock-free).
 func (q *Quarantine) Len() int { return int(q.n.Load()) }
 
+// Cap reports the configured signature capacity.
+func (q *Quarantine) Cap() int { return q.max }
+
 // Admitted reports how many distinct signatures have ever been quarantined.
 func (q *Quarantine) Admitted() uint64 { return q.admitted.Load() }
 
