@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race vet bench bench-compile bench-smoke bench-json bench-alloc-guard experiments fuzz chaos chaos-soak examples clean
+.PHONY: all build test race vet bench bench-compile bench-smoke bench-json bench-alloc-guard bench-saturate bench-saturate-smoke experiments fuzz chaos chaos-soak examples clean
 
 all: build test
 
@@ -22,6 +22,8 @@ race:
 	go test -race -run='TestViewConcurrentMutate' -count=2 ./internal/zone/
 	go test -race -run='TestContainmentPanicStorm|TestQueryOfDeathDrill' -count=2 ./internal/netserve/
 	go test -race -run='TestScrapeWhileServing|TestFlightForensicsEndToEnd' -count=2 ./internal/netserve/
+	go test -race -run='TestBatchParity|TestBatchDrainWakes|TestUDPGroupSamePort' -count=2 ./internal/netserve/
+	go test -race -count=2 ./internal/udpbatch/
 	go test -race -run='TestCoordinatorRaceStress|TestCoordinatorQuorumUnionOverGrant' -count=2 ./internal/monitor/
 
 vet:
@@ -46,14 +48,33 @@ bench-smoke:
 # guard fails the run if any hot handle path (cached hit, EDNS hit,
 # view-path NXDOMAIN miss, delegation miss) starts allocating.
 bench-json:
-	go test -run='^$$' -bench='BenchmarkNetServeUDP|BenchmarkHandleUDP|BenchmarkStoreFind' -benchmem -benchtime=2s . ./internal/netserve/ ./internal/zone/ | go run ./cmd/benchjson -assert-zero-alloc='^HandleUDP$$|^HandleUDPEDNS$$|^HandleUDPMissNXDOMAIN$$|^HandleUDPDelegation$$' > BENCH_netserve.json.tmp
+	go test -run='^$$' -bench='BenchmarkNetServeUDP|BenchmarkHandleUDP|BenchmarkStoreFind' -benchmem -benchtime=2s . ./internal/netserve/ ./internal/zone/ | go run ./cmd/benchjson -assert-zero-alloc='^HandleUDP$$|^HandleUDPEDNS$$|^HandleUDPMissNXDOMAIN$$|^HandleUDPDelegation$$|^HandleUDPBatch32$$' > BENCH_netserve.json.tmp
 	mv BENCH_netserve.json.tmp BENCH_netserve.json
 	@cat BENCH_netserve.json
 
 # CI-shaped allocation regression smoke: short benchtime, no file rewrite,
 # same zero-alloc guard as bench-json.
 bench-alloc-guard:
-	go test -run='^$$' -bench='BenchmarkHandleUDP' -benchmem -benchtime=0.2s ./internal/netserve/ | go run ./cmd/benchjson -keep-baseline='' -assert-zero-alloc='^HandleUDP$$|^HandleUDPEDNS$$|^HandleUDPMissNXDOMAIN$$|^HandleUDPDelegation$$' > /dev/null
+	go test -run='^$$' -bench='BenchmarkHandleUDP' -benchmem -benchtime=0.2s ./internal/netserve/ | go run ./cmd/benchjson -keep-baseline='' -assert-zero-alloc='^HandleUDP$$|^HandleUDPEDNS$$|^HandleUDPMissNXDOMAIN$$|^HandleUDPDelegation$$|^HandleUDPBatch32$$' > /dev/null
+
+# Loopback saturation compare (dnsblast): server batching off vs on, then
+# the same flood against both, committed as the "saturation" key of
+# BENCH_netserve.json (the benchmark table is carried over untouched).
+# -server-rcvbuf -1 pins both configs to the OS-default socket buffer so
+# the comparison isolates the I/O shape; reps are interleaved in time and
+# each config reports its median (a loaded one-core host is noisy).
+bench-saturate:
+	go run ./cmd/dnsblast -selfserve -compare -server-rcvbuf -1 -duration 2s -reps 5 -json BENCH_saturation.json.tmp
+	go run ./cmd/benchjson -keep-benchmarks -saturation=BENCH_saturation.json.tmp < /dev/null > BENCH_netserve.json.tmp
+	mv BENCH_netserve.json.tmp BENCH_netserve.json
+	rm -f BENCH_saturation.json.tmp
+	@cat BENCH_netserve.json
+
+# CI-shaped saturation smoke: one short rep, no file rewrite; asserts the
+# full pipeline (corpus, batched client I/O, both server configs, report)
+# actually answers queries.
+bench-saturate-smoke:
+	go run ./cmd/dnsblast -selfserve -compare -server-rcvbuf -1 -duration 1s -reps 1 -ramp-start 20000 -ramp-growth 2 -assert-received 1000 -json /dev/null
 
 experiments:
 	go run ./cmd/experiments -fig all

@@ -1,0 +1,447 @@
+package main
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"net"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"akamaidns/internal/dnswire"
+	"akamaidns/internal/udpbatch"
+)
+
+// The corpus: pre-packed query wires over blast.test, tagged with the
+// offset of a rewritable 16-octet first label (0 = fixed name). Packing
+// happens once at startup; the send loop only patches IDs and — for the
+// cache-busting classes — hex counters into the label, so per-query cost
+// on the generator side stays far below the server's serving cost.
+
+// blastZone is what -selfserve loads and what the hit/delegation classes
+// assume exists on an external -addr target.
+const blastZone = `
+$ORIGIN blast.test.
+$TTL 300
+@        IN SOA ns1 host ( 1 3600 600 604800 30 )
+@        IN NS ns1
+ns1      IN A 198.51.100.1
+www      IN A 192.0.2.1
+mail     IN A 192.0.2.2
+txt      IN TXT "dnsblast probe"
+sub      IN NS ns1.sub
+sub      IN NS ns2.sub
+ns1.sub  IN A 203.0.113.1
+ns2.sub  IN A 203.0.113.2
+`
+
+// uniqueLabelOff is where the 16-octet rewritable label starts in a wire
+// packed from a name whose first label is the 16-byte placeholder:
+// 12-byte header + 1 length octet.
+const uniqueLabelOff = 13
+
+type corpus struct {
+	wires     [][]byte
+	uniqueOff []int // 0: fixed name; >0: patch 16 hex octets at this offset
+}
+
+// buildCorpus expands a weighted mix spec ("hit=6,nx=2,deleg=1,flood=1")
+// into n interleaved pre-packed wires. Classes:
+//
+//	hit    cacheable A/TXT queries for names that exist (half with EDNS)
+//	nx     unique random-subdomain NXDOMAIN probes (cache-busting)
+//	deleg  unique names below the sub zone cut (referral + glue)
+//	flood  full DNS header + garbage body (FORMERR with the ID echoed)
+func buildCorpus(mix string, seed int64, n int) (*corpus, error) {
+	weights := map[string]int{}
+	for _, part := range strings.Split(mix, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		eq := strings.IndexByte(part, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("mix term %q needs class=weight", part)
+		}
+		w, err := strconv.Atoi(part[eq+1:])
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("mix term %q: bad weight", part)
+		}
+		cls := part[:eq]
+		switch cls {
+		case "hit", "nx", "deleg", "flood":
+			weights[cls] += w
+		default:
+			return nil, fmt.Errorf("mix term %q: unknown class (want hit/nx/deleg/flood)", part)
+		}
+	}
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("mix %q has zero total weight", mix)
+	}
+	// Deterministic weighted interleave: walk classes in sorted order and
+	// emit each when its error accumulator rolls over, so the server sees
+	// the blend continuously rather than in runs.
+	classes := make([]string, 0, len(weights))
+	for cls := range weights {
+		classes = append(classes, cls)
+	}
+	sort.Strings(classes)
+	rng := rand.New(rand.NewSource(seed))
+	pack := func(name string, qtype dnswire.Type, edns bool) []byte {
+		q := dnswire.NewQuery(0, dnswire.MustName(name), qtype)
+		if edns {
+			q.Additional = append(q.Additional, dnswire.NewOPT(1232))
+		}
+		wire, err := q.Pack()
+		if err != nil {
+			panic(err) // static names; cannot fail
+		}
+		return wire
+	}
+	hits := [][]byte{
+		pack("www.blast.test", dnswire.TypeA, false),
+		pack("www.blast.test", dnswire.TypeA, true),
+		pack("mail.blast.test", dnswire.TypeA, false),
+		pack("txt.blast.test", dnswire.TypeTXT, true),
+	}
+	c := &corpus{wires: make([][]byte, 0, n), uniqueOff: make([]int, 0, n)}
+	add := func(wire []byte, off int) {
+		c.wires = append(c.wires, wire)
+		c.uniqueOff = append(c.uniqueOff, off)
+	}
+	acc := map[string]int{}
+	for len(c.wires) < n {
+		for _, cls := range classes {
+			if len(c.wires) >= n {
+				break
+			}
+			acc[cls] += weights[cls]
+			if acc[cls] < total {
+				continue
+			}
+			acc[cls] -= total
+			switch cls {
+			case "hit":
+				add(append([]byte(nil), hits[rng.Intn(len(hits))]...), 0)
+			case "nx":
+				add(pack("aaaaaaaaaaaaaaaa.blast.test", dnswire.TypeA, false), uniqueLabelOff)
+			case "deleg":
+				add(pack("aaaaaaaaaaaaaaaa.sub.blast.test", dnswire.TypeA, false), uniqueLabelOff)
+			case "flood":
+				wire := make([]byte, 12+8+rng.Intn(16))
+				rng.Read(wire[12:])
+				wire[2], wire[3] = 0, 0 // QR clear: the server must answer
+				wire[4], wire[5] = 0, 1 // QDCOUNT=1
+				add(wire, 0)
+			}
+		}
+	}
+	return c, nil
+}
+
+// clone deep-copies the wires so each worker can patch IDs and labels in
+// place without sharing.
+func (c *corpus) clone() *corpus {
+	out := &corpus{wires: make([][]byte, len(c.wires)), uniqueOff: c.uniqueOff}
+	for i, w := range c.wires {
+		out.wires[i] = append([]byte(nil), w...)
+	}
+	return out
+}
+
+// latHist is a quarter-log-scale latency histogram over microseconds:
+// exact buckets below 16us, then four sub-buckets per octave (~19%
+// resolution) up to the counting horizon.
+type latHist [256]uint64
+
+func bucketIdx(us uint64) int {
+	if us < 16 {
+		return int(us)
+	}
+	msb := bits.Len64(us) - 1
+	sub := (us >> (uint(msb) - 2)) & 3
+	idx := 16 + (msb-4)*4 + int(sub)
+	if idx >= len(latHist{}) {
+		idx = len(latHist{}) - 1
+	}
+	return idx
+}
+
+func bucketLo(idx int) float64 {
+	if idx < 16 {
+		return float64(idx)
+	}
+	m := (idx-16)/4 + 4
+	s := (idx - 16) % 4
+	return float64((uint64(1) << uint(m)) + uint64(s)<<uint(m-2))
+}
+
+func (h *latHist) observe(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	h[bucketIdx(uint64(ns)/1000)]++
+}
+
+func (h *latHist) merge(o *latHist) {
+	for i, v := range o {
+		h[i] += v
+	}
+}
+
+// quantile returns the q-th latency quantile in microseconds (the lower
+// edge of the covering bucket plus half its width).
+func (h *latHist) quantile(q float64) float64 {
+	var total uint64
+	for _, v := range h {
+		total += v
+	}
+	if total == 0 {
+		return 0
+	}
+	target := q * float64(total)
+	var cum float64
+	for i, v := range h {
+		cum += float64(v)
+		if cum >= target {
+			lo := bucketLo(i)
+			var hi float64
+			if i+1 < len(h) {
+				hi = bucketLo(i + 1)
+			} else {
+				hi = lo * 2
+			}
+			return (lo + hi) / 2
+		}
+	}
+	return bucketLo(len(h) - 1)
+}
+
+// workerStats: attempted/sent/dropped belong to the sender goroutine,
+// received/unmatched/hist to the receiver; the fields are disjoint and
+// only merged after both have exited.
+type workerStats struct {
+	attempted uint64
+	sent      uint64
+	dropped   uint64
+	received  uint64
+	unmatched uint64
+	hist      latHist
+}
+
+// burstDrain measures the server's service rate with the generator's own
+// cost out of the measurement window: fire a burst of burstSize queries
+// flat out into the server's (deep, see Config.UDPReadBuffer) receive
+// queue, then go quiet and clock how fast answers drain back. The rate is
+// answers over busy time (first send to last answer); the client only
+// spends ~batch-amortized receive syscalls during the drain, so on a
+// shared single-core box this is the closest honest stand-in for "what
+// can the server alone sustain". Repeats bursts until totalDur of busy
+// time accumulates.
+func burstDrain(raddr *net.UDPAddr, cps *corpus, widx, batch, burstSize int, totalDur, idle time.Duration) (workerStats, float64, error) {
+	conn, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		return workerStats{}, 0, err
+	}
+	defer conn.Close()
+	conn.SetReadBuffer(4 << 20) // the answer burst comes back just as hot
+	bc, err := udpbatch.New(conn, batch)
+	if err != nil {
+		return workerStats{}, 0, err
+	}
+	var st workerStats
+	var rcount, lastArrival atomic.Int64
+	done := make(chan struct{})
+	go func() { // receiver: count + timestamp arrivals until deadline poke
+		defer close(done)
+		for {
+			n, err := bc.ReadBatch()
+			if err != nil {
+				return
+			}
+			now := time.Now().UnixNano()
+			lastArrival.Store(now)
+			got := int64(0)
+			for i := 0; i < n; i++ {
+				if p := bc.Packet(i); p != nil && len(p) >= 2 {
+					got++
+				}
+			}
+			rcount.Add(got)
+			st.received += uint64(got)
+		}
+	}()
+	const hexdig = "0123456789abcdef"
+	var busyNs int64
+	idx, seq, uniq := 0, uint32(0), uint64(0)
+	for busyNs < int64(totalDur) {
+		r0 := rcount.Load()
+		t0 := time.Now()
+		staged := 0
+		for q := 0; q < burstSize; q++ {
+			wire := cps.wires[idx]
+			off := cps.uniqueOff[idx]
+			idx++
+			if idx == len(cps.wires) {
+				idx = 0
+			}
+			id := uint16(seq)
+			seq++
+			wire[0], wire[1] = byte(id>>8), byte(id)
+			if off > 0 {
+				v := uniq<<8 | uint64(widx&0xFF)
+				uniq++
+				for k := 0; k < 16; k++ {
+					wire[off+k] = hexdig[v&0xF]
+					v >>= 4
+				}
+			}
+			if bc.StageConnected(staged, wire) {
+				staged++
+			}
+			if staged == batch || q == burstSize-1 {
+				st.attempted += uint64(staged)
+				sent, dropped, err := bc.Flush(staged)
+				st.sent += uint64(sent)
+				st.dropped += uint64(dropped)
+				staged = 0
+				if err != nil {
+					conn.SetReadDeadline(time.Now())
+					<-done
+					return st, 0, err
+				}
+			}
+		}
+		// Quiet period: wait for the queue to drain back as answers.
+		for {
+			time.Sleep(2 * time.Millisecond)
+			got := rcount.Load() - r0
+			quiet := time.Duration(time.Now().UnixNano() - lastArrival.Load())
+			if got >= int64(burstSize) || quiet > idle {
+				break
+			}
+		}
+		if got := rcount.Load() - r0; got > 0 {
+			busyNs += lastArrival.Load() - t0.UnixNano()
+		}
+	}
+	conn.SetReadDeadline(time.Now())
+	<-done
+	qps := 0.0
+	if busyNs > 0 {
+		qps = float64(st.received) / (float64(busyNs) / 1e9)
+	}
+	return st, qps, nil
+}
+
+// blastWorker drives one connected socket: a sender goroutine staging and
+// flushing whole batches until the deadline, paced at one batch per
+// interval (interval <= 0 sends flat out), and a receiver (this
+// goroutine) matching response IDs back to send timestamps. sendNs is
+// indexed by query ID; 65536 outstanding slots are plenty at the
+// in-flight depths a UDP socket buffer sustains.
+func blastWorker(raddr *net.UDPAddr, cps *corpus, widx, batch int, dur, drain time.Duration, interval time.Duration) (workerStats, error) {
+	conn, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		return workerStats{}, err
+	}
+	defer conn.Close()
+	// The response stream arrives as bursts of the server's flush batches;
+	// a deep receive queue keeps measurement from dropping what the server
+	// in fact answered. Clamped by rmem_max, best effort.
+	conn.SetReadBuffer(4 << 20)
+	bc, err := udpbatch.New(conn, batch)
+	if err != nil {
+		return workerStats{}, err
+	}
+	var st workerStats
+	sendNs := make([]int64, 65536)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // sender
+		defer wg.Done()
+		const hexdig = "0123456789abcdef"
+		deadline := time.Now().Add(dur)
+		next := time.Now()
+		idx, seq, uniq := 0, uint32(0), uint64(0)
+		for time.Now().Before(deadline) {
+			if interval > 0 {
+				next = next.Add(interval)
+				if d := time.Until(next); d > 0 {
+					time.Sleep(d)
+				}
+			}
+			now := time.Now().UnixNano()
+			staged := 0
+			for j := 0; j < batch; j++ {
+				wire := cps.wires[idx]
+				off := cps.uniqueOff[idx]
+				idx++
+				if idx == len(cps.wires) {
+					idx = 0
+				}
+				id := uint16(seq)
+				seq++
+				wire[0], wire[1] = byte(id>>8), byte(id)
+				if off > 0 {
+					// Worker index in the low hex digits keeps names
+					// globally unique without cross-worker coordination.
+					v := uniq<<8 | uint64(widx&0xFF)
+					uniq++
+					for k := 0; k < 16; k++ {
+						wire[off+k] = hexdig[v&0xF]
+						v >>= 4
+					}
+				}
+				atomic.StoreInt64(&sendNs[id], now)
+				if !bc.StageConnected(staged, wire) {
+					continue
+				}
+				staged++
+			}
+			st.attempted += uint64(staged)
+			sent, dropped, err := bc.Flush(staged)
+			st.sent += uint64(sent)
+			st.dropped += uint64(dropped)
+			if err != nil {
+				return
+			}
+		}
+	}()
+	go func() { // after the sender retires, give stragglers the drain window
+		wg.Wait()
+		time.Sleep(drain)
+		conn.SetReadDeadline(time.Now())
+	}()
+	for {
+		n, err := bc.ReadBatch()
+		if err != nil {
+			break // deadline poke after drain, or socket closed
+		}
+		now := time.Now().UnixNano()
+		for i := 0; i < n; i++ {
+			p := bc.Packet(i)
+			if p == nil || len(p) < 2 {
+				continue
+			}
+			id := int(p[0])<<8 | int(p[1])
+			s := atomic.SwapInt64(&sendNs[id], 0)
+			if s == 0 {
+				st.unmatched++
+				continue
+			}
+			st.received++
+			st.hist.observe(now - s)
+		}
+	}
+	wg.Wait()
+	return st, nil
+}

@@ -1,0 +1,101 @@
+// Batched UDP serving: the read loop variant that amortizes kernel
+// crossings with recvmmsg/sendmmsg (internal/udpbatch). Each worker
+// drains up to K datagrams per syscall into a preallocated arena, runs
+// every packet through the exact same handlePacket tiers as the
+// one-packet loop — hot cache, compiled views, slow path, quarantine,
+// watchdog, ladder, flight recorder — and flushes the accumulated
+// responses with one sendmmsg. Steady state allocates nothing.
+
+package netserve
+
+import (
+	"net"
+	"time"
+
+	"akamaidns/internal/udpbatch"
+)
+
+// udpBatchK resolves Config.UDPBatch: 0 means DefaultUDPBatch, 1 or less
+// (or a platform without batched syscalls) disables batching.
+func (s *Server) udpBatchK() int {
+	if !udpbatch.Supported {
+		return 1
+	}
+	k := s.Cfg.UDPBatch
+	if k == 0 {
+		k = DefaultUDPBatch
+	}
+	if k < 2 {
+		return 1
+	}
+	if k > udpbatch.MaxBatch {
+		k = udpbatch.MaxBatch
+	}
+	return k
+}
+
+// serveUDPBatched is the batched read loop. The contract mirrors
+// serveUDPLoop exactly: return on read error (socket closed, or
+// deadline-poked by Drain — udpbatch.ReadBatch honors SetReadDeadline),
+// count every packet, and read-and-discard whole batches while the
+// watchdog holds a self-suspension.
+func (s *Server) serveUDPBatched(bc *udpbatch.Conn, conn *net.UDPConn) {
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	for {
+		n, err := bc.ReadBatch()
+		if err != nil {
+			return // closed (or deadline-poked by Drain)
+		}
+		s.Metrics.UDPQueries.Add(uint64(n))
+		s.batchSize.Observe(float64(n))
+		if s.watchdog != nil && s.watchdog.Engaged() && s.watchdog.Suspended(time.Now()) {
+			// Live self-suspension: the whole batch is read and discarded
+			// unanswered, same as the one-packet loop (§4.2.1).
+			continue
+		}
+		if staged := s.handleBatch(bc, conn, n, sc); staged > 0 {
+			s.flushBatch(bc, staged)
+		}
+	}
+}
+
+// handleBatch serves the n received packets of the last ReadBatch and
+// stages their responses, returning how many are staged. Responses too
+// large for an arena slot (possible only from the slow path, when a
+// client advertises a >4 KiB EDNS payload and the answer actually fills
+// it) are written through conn unbatched; conn may be nil in benchmarks,
+// which never construct such answers.
+func (s *Server) handleBatch(bc *udpbatch.Conn, conn *net.UDPConn, n int, sc *scratch) int {
+	staged := 0
+	for i := 0; i < n; i++ {
+		pkt := bc.Packet(i)
+		if pkt == nil {
+			continue // kernel-truncated jumbo datagram: never serve clipped bytes
+		}
+		resp := s.handlePacket(pkt, bc.Src(i), false, sc)
+		if resp == nil {
+			continue
+		}
+		if bc.Stage(staged, resp, i) {
+			staged++
+			continue
+		}
+		if conn != nil {
+			if _, err := conn.WriteToUDPAddrPort(resp, bc.Src(i)); err != nil {
+				s.Metrics.WriteErrors.Add(1)
+			}
+		}
+	}
+	return staged
+}
+
+// flushBatch sends the staged responses, accounting each datagram the
+// kernel would not take — once per datagram, not per batch — as both a
+// write error and a send shortfall.
+func (s *Server) flushBatch(bc *udpbatch.Conn, staged int) {
+	if _, dropped, _ := bc.Flush(staged); dropped > 0 {
+		s.Metrics.WriteErrors.Add(uint64(dropped))
+		s.Metrics.SendShortfall.Add(uint64(dropped))
+	}
+}

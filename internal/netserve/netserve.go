@@ -33,6 +33,7 @@ import (
 	"akamaidns/internal/qod"
 	"akamaidns/internal/queue"
 	"akamaidns/internal/simtime"
+	"akamaidns/internal/udpbatch"
 	"akamaidns/internal/zone"
 )
 
@@ -47,6 +48,21 @@ type Config struct {
 	// the kernel load-balances packets across independent receive queues;
 	// elsewhere the workers share one socket.
 	UDPWorkers int
+	// UDPBatch sets K, the datagrams moved per UDP syscall: each read loop
+	// drains up to K packets with one recvmmsg and flushes their responses
+	// with one sendmmsg (0 = DefaultUDPBatch; 1 or negative disables
+	// batching; ignored where batched syscalls are unavailable, see
+	// udpbatch.Supported). The batch path reuses a per-worker arena, so a
+	// datagram larger than the 4 KiB arena slot is dropped rather than
+	// served clipped — far beyond any real DNS query.
+	UDPBatch int
+	// UDPReadBuffer sets SO_RCVBUF (bytes) on every UDP listener: queue
+	// depth is what turns a transient flood burst into latency instead of
+	// loss, and what keeps recvmmsg batches full (0 = DefaultUDPReadBuffer
+	// when the batched read loop is active, OS default otherwise; negative
+	// always keeps the OS default). The kernel clamps to
+	// net.core.rmem_max; failures are ignored.
+	UDPReadBuffer int
 	// HotCacheSize bounds the packed-response hot cache (0 = default size,
 	// negative disables the cache entirely).
 	HotCacheSize int
@@ -111,6 +127,17 @@ type Config struct {
 // DefaultLatencySample is the 1-in-N answer-latency sampling period.
 const DefaultLatencySample = 64
 
+// DefaultUDPBatch is the default recvmmsg/sendmmsg batch size where
+// batched syscalls are supported. 32 amortizes the kernel crossing to
+// ~3% of its per-packet cost while keeping the per-worker arena (two
+// 4 KiB slots per packet) small.
+const DefaultUDPBatch = 32
+
+// DefaultUDPReadBuffer is the SO_RCVBUF request for each UDP listener:
+// 4 MiB absorbs several milliseconds of full-rate flood per socket
+// (subject to the net.core.rmem_max clamp).
+const DefaultUDPReadBuffer = 4 << 20
+
 // TCP connection defaults.
 const (
 	DefaultMaxTCPConns   = 256
@@ -143,6 +170,10 @@ type Metrics struct {
 	Transfers    *obs.Counter
 	WriteErrors  *obs.Counter
 	DecodeErrors *obs.Counter
+	// SendShortfall counts datagrams a batched response flush could not
+	// hand to the kernel (partial sendmmsg under egress pressure); each
+	// shortfall datagram also counts as a WriteError.
+	SendShortfall *obs.Counter
 	// Panics counts handler panics contained by the recover boundary.
 	Panics *obs.Counter
 	// QoDRefused counts queries refused pre-decode by the quarantine.
@@ -204,6 +235,10 @@ type Server struct {
 	flight   *flight.Recorder
 	latEvery uint32
 
+	// batchSize distributes how many datagrams each recvmmsg returned — a
+	// direct read on how much syscall amortization the traffic admits.
+	batchSize *obs.Histogram
+
 	// Graceful drain and TCP connection bookkeeping.
 	draining atomic.Bool
 	tcpSem   chan struct{}
@@ -233,7 +268,12 @@ func NewWithRegistry(cfg Config, eng *nameserver.Engine, pipeline *filters.Pipel
 		WriteErrors:  reg.Counter(obs.MetricWriteErrorsTotal, "Response encode/write failures."),
 		DecodeErrors: reg.Counter(obs.MetricDecodeErrorsTotal, "Undecodable queries."),
 		ViewServed:   reg.Counter(obs.MetricViewServedTotal, "Responses assembled from compiled zone views."),
+		SendShortfall: reg.Counter(obs.MetricSendShortfallTotal,
+			"Response datagrams dropped by partial sendmmsg flushes."),
 	}
+	s.batchSize = reg.Histogram(obs.MetricUDPBatchSize,
+		"Datagrams returned per batched UDP read.",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256})
 	// Compiled-view health: rebuild counts are pulled from the store at
 	// scrape time (a rebuild storm shows up as these gauges racing).
 	reg.GaugeFunc(obs.MetricViewRebuildsTotal, "Compiled zone view rebuilds across hosted zones.",
@@ -396,6 +436,23 @@ func (s *Server) Start() error {
 		if err != nil {
 			return err
 		}
+		// Deep receive queues: a flood arrives faster than any reader can
+		// drain for a few milliseconds at a time; queue depth is what turns
+		// that into latency instead of loss, and what keeps recvmmsg
+		// batches full. The deep default only applies when the batched
+		// read loop is active — it exists to feed recvmmsg; the one-packet
+		// loop keeps the OS default it has always run with. An explicit
+		// UDPReadBuffer applies to either loop. Clamped by
+		// net.core.rmem_max; best effort.
+		rb := s.Cfg.UDPReadBuffer
+		if rb == 0 && s.udpBatchK() > 1 {
+			rb = DefaultUDPReadBuffer
+		}
+		if rb > 0 {
+			for _, c := range conns {
+				c.SetReadBuffer(rb)
+			}
+		}
 		s.udps = conns
 		if len(conns) == 1 {
 			// Shared socket: N workers drain one receive queue.
@@ -463,10 +520,27 @@ func listenUDPGroup(addr string, n int) ([]*net.UDPConn, error) {
 		}
 		conns = append(conns, pc.(*net.UDPConn))
 	}
+	// The group contract UDPAddrActual relies on: every member bound the
+	// same port. The loop above binds to the first socket's resolved
+	// address, so a mismatch means the kernel or a Control hook rebound a
+	// member — refuse to serve split-brained rather than report udps[0]
+	// for a group that isn't one.
+	port0 := conns[0].LocalAddr().(*net.UDPAddr).Port
+	for _, c := range conns[1:] {
+		if p := c.LocalAddr().(*net.UDPAddr).Port; p != port0 {
+			for _, cc := range conns {
+				cc.Close()
+			}
+			return nil, fmt.Errorf("netserve: SO_REUSEPORT group split across ports %d and %d", port0, p)
+		}
+	}
 	return conns, nil
 }
 
-// UDPAddrActual reports the bound UDP address (for :0 listeners).
+// UDPAddrActual reports the bound UDP address (for :0 listeners). With
+// an SO_REUSEPORT worker group every socket is bound to the same
+// address — listenUDPGroup asserts the ports agree at startup — so index
+// 0 is the canonical answer for the whole group.
 func (s *Server) UDPAddrActual() string {
 	if len(s.udps) == 0 {
 		return ""
@@ -496,12 +570,26 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
-// serveUDP is one UDP read loop. Buffers, the query message, and the
-// response buffer are acquired once and reused for every packet the worker
-// handles; the address travels as a netip.AddrPort so nothing on the read
-// path allocates.
+// serveUDP is one UDP worker: it owns the WaitGroup slot and routes the
+// socket onto the batched read loop (one recvmmsg/sendmmsg per K packets,
+// batch.go) when configured and supported, or the classic one-packet loop
+// otherwise.
 func (s *Server) serveUDP(conn *net.UDPConn) {
 	defer s.wg.Done()
+	if k := s.udpBatchK(); k > 1 {
+		if bc, err := udpbatch.New(conn, k); err == nil {
+			s.serveUDPBatched(bc, conn)
+			return
+		}
+	}
+	s.serveUDPLoop(conn)
+}
+
+// serveUDPLoop is the unbatched UDP read loop. Buffers, the query
+// message, and the response buffer are acquired once and reused for every
+// packet the worker handles; the address travels as a netip.AddrPort so
+// nothing on the read path allocates.
+func (s *Server) serveUDPLoop(conn *net.UDPConn) {
 	bp := bufPool.Get().(*[]byte)
 	defer bufPool.Put(bp)
 	buf := *bp

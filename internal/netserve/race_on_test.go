@@ -1,0 +1,5 @@
+//go:build race
+
+package netserve
+
+const raceEnabled = true

@@ -48,6 +48,10 @@ const (
 	MetricWriteErrorsTotal  = "akamaidns_server_write_errors_total"
 	MetricDecodeErrorsTotal = "akamaidns_server_decode_errors_total"
 
+	// Batched UDP syscall I/O (recvmmsg/sendmmsg read loops).
+	MetricSendShortfallTotal = "akamaidns_server_send_shortfall_total"
+	MetricUDPBatchSize       = "akamaidns_server_udp_batch_size"
+
 	// Self-protection: query-of-death containment, live self-suspension,
 	// and the overload degradation ladder on the socket server.
 	MetricPanicsTotal        = "akamaidns_server_handler_panics_total"

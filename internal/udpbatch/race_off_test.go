@@ -1,0 +1,5 @@
+//go:build !race
+
+package udpbatch
+
+const raceEnabled = false

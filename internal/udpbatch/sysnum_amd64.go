@@ -1,0 +1,11 @@
+//go:build linux && amd64
+
+package udpbatch
+
+// The frozen syscall package predates sendmmsg (kernel 3.0), so its
+// number is spelled out; recvmmsg is pinned alongside it for symmetry.
+// Values are from arch/x86/entry/syscalls/syscall_64.tbl.
+const (
+	sysRecvmmsg = 299
+	sysSendmmsg = 307
+)

@@ -1,0 +1,10 @@
+//go:build linux && arm64
+
+package udpbatch
+
+// Generic (asm-generic/unistd.h) syscall numbers; arm64 uses the generic
+// table.
+const (
+	sysRecvmmsg = 243
+	sysSendmmsg = 269
+)
