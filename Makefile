@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race vet bench bench-compile bench-smoke bench-json bench-alloc-guard bench-saturate bench-saturate-smoke experiments fuzz chaos chaos-soak examples clean
+.PHONY: all build test race vet bench bench-compile bench-smoke bench-json bench-alloc-guard bench-saturate bench-saturate-smoke experiments fuzz chaos chaos-soak churn churn-smoke examples clean
 
 all: build test
 
@@ -25,6 +25,7 @@ race:
 	go test -race -run='TestBatchParity|TestBatchDrainWakes|TestUDPGroupSamePort' -count=2 ./internal/netserve/
 	go test -race -count=2 ./internal/udpbatch/
 	go test -race -run='TestCoordinatorRaceStress|TestCoordinatorQuorumUnionOverGrant' -count=2 ./internal/monitor/
+	go test -race -run='TestChurnWhileServing' ./internal/ctlplane/
 
 vet:
 	go vet ./...
@@ -48,14 +49,14 @@ bench-smoke:
 # guard fails the run if any hot handle path (cached hit, EDNS hit,
 # view-path NXDOMAIN miss, delegation miss) starts allocating.
 bench-json:
-	go test -run='^$$' -bench='BenchmarkNetServeUDP|BenchmarkHandleUDP|BenchmarkStoreFind' -benchmem -benchtime=2s . ./internal/netserve/ ./internal/zone/ | go run ./cmd/benchjson -assert-zero-alloc='^HandleUDP$$|^HandleUDPEDNS$$|^HandleUDPMissNXDOMAIN$$|^HandleUDPDelegation$$|^HandleUDPBatch32$$' > BENCH_netserve.json.tmp
+	go test -run='^$$' -bench='BenchmarkNetServeUDP|BenchmarkHandleUDP|BenchmarkStoreFind' -benchmem -benchtime=2s . ./internal/netserve/ ./internal/zone/ | go run ./cmd/benchjson -assert-zero-alloc='^HandleUDP$$|^HandleUDPEDNS$$|^HandleUDPMissNXDOMAIN$$|^HandleUDPDelegation$$|^HandleUDPBatch32$$|^HandleUDPChurnHit$$|^HandleUDPChurnMiss$$' > BENCH_netserve.json.tmp
 	mv BENCH_netserve.json.tmp BENCH_netserve.json
 	@cat BENCH_netserve.json
 
 # CI-shaped allocation regression smoke: short benchtime, no file rewrite,
 # same zero-alloc guard as bench-json.
 bench-alloc-guard:
-	go test -run='^$$' -bench='BenchmarkHandleUDP' -benchmem -benchtime=0.2s ./internal/netserve/ | go run ./cmd/benchjson -keep-baseline='' -assert-zero-alloc='^HandleUDP$$|^HandleUDPEDNS$$|^HandleUDPMissNXDOMAIN$$|^HandleUDPDelegation$$|^HandleUDPBatch32$$' > /dev/null
+	go test -run='^$$' -bench='BenchmarkHandleUDP' -benchmem -benchtime=0.2s ./internal/netserve/ | go run ./cmd/benchjson -keep-baseline='' -assert-zero-alloc='^HandleUDP$$|^HandleUDPEDNS$$|^HandleUDPMissNXDOMAIN$$|^HandleUDPDelegation$$|^HandleUDPBatch32$$|^HandleUDPChurnHit$$|^HandleUDPChurnMiss$$' > /dev/null
 
 # Loopback saturation compare (dnsblast): server batching off vs on, then
 # the same flood against both, committed as the "saturation" key of
@@ -86,6 +87,7 @@ fuzz:
 	go test -fuzz=FuzzParseMaster -fuzztime=30s ./internal/zone/
 	go test -fuzz=FuzzViewLookupParity -fuzztime=30s ./internal/zone/
 	go test -fuzz=FuzzTCPFrameReader -fuzztime=30s ./internal/netserve/
+	go test -fuzz=FuzzPlanApply -fuzztime=30s ./internal/ctlplane/
 
 # Deterministic fault-injection harness: every scenario once at the default
 # seed, plus the determinism and regression suites and the live-socket
@@ -98,6 +100,21 @@ chaos:
 SEEDS ?= 1:25
 chaos-soak:
 	go run ./cmd/chaos -scenarios all -seeds $(SEEDS) -quiet
+
+# Serve-under-churn experiment: a live UDP server + control-plane HTTP API,
+# a driver pushing changelists while query workers verify byte-identical
+# answers for an untouched control zone and measure propagation lag. The
+# full run drives 10^6 zone changes; -assert exits non-zero on any
+# violation (control-zone drift, >1 rebuild per batch, lag p99 over bound).
+# -lag-bound scales with batch size: lag is measured from POST to
+# UDP-visible, so a 256-zone batch's apply pipeline (plan+validate+diff+
+# compile on one core) is inside every sample.
+churn:
+	go run ./cmd/churn -zones 2048 -batch 256 -changes 1000000 -workers 2 -pace 2ms -lag-bound 1s -assert
+
+# CI-shaped smoke: ~20k changes with a fixed seed, same assertions.
+churn-smoke:
+	go run ./cmd/churn -zones 256 -batch 128 -changes 20000 -workers 2 -seed 7 -pace 1ms -assert
 
 examples:
 	go run ./examples/quickstart

@@ -25,6 +25,7 @@ import (
 	"syscall"
 	"time"
 
+	"akamaidns/internal/ctlplane"
 	"akamaidns/internal/dnswire"
 	"akamaidns/internal/filters"
 	"akamaidns/internal/flight"
@@ -60,6 +61,7 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "grace period for in-flight queries on SIGTERM before sockets are force-closed")
 	latencySample := flag.Int("latency-sample", 0, "time 1-in-N answers for the watchdog and flight recorder (0 = default 64, negative disables)")
 	flightSample := flag.Int("flight-sample", 0, "flight-recorder head sampling: capture 1-in-N normal queries, anomalies always (0 = default 16, negative disables the recorder)")
+	withCtl := flag.Bool("ctlplane", false, "mount the zone control-plane changelist API (/ctl/...) on the debug/metrics listener")
 	debugAddr := flag.String("debug-addr", "", "serve the /debug forensics endpoints on a separate address ('' = ride the metrics listener)")
 	withPprof := flag.Bool("pprof", false, "mount net/http/pprof on the debug/metrics listener")
 	version := flag.Bool("version", false, "print version and exit")
@@ -72,6 +74,10 @@ func main() {
 
 	if len(zones) == 0 && len(secondaries) == 0 {
 		fmt.Fprintln(os.Stderr, "authdns: at least one -zone origin=path or -secondary origin=addr is required")
+		os.Exit(2)
+	}
+	if *withCtl && *metricsAddr == "" && *debugAddr == "" {
+		fmt.Fprintln(os.Stderr, "authdns: -ctlplane needs -metrics-addr or -debug-addr to mount the /ctl API")
 		os.Exit(2)
 	}
 	store := zone.NewStore()
@@ -134,6 +140,16 @@ func main() {
 	for _, origin := range store.Origins() {
 		srv.History.Record(store.Get(origin))
 	}
+	// The zone control plane shares the server's registry (its metrics land
+	// in /metrics) and IXFR history, so applied changelists become IXFR
+	// deltas secondaries can pull incrementally.
+	var ctl *ctlplane.Controller
+	if *withCtl {
+		ctl = ctlplane.New(store, ctlplane.Config{
+			Registry: srv.Reg,
+			History:  srv.History,
+		})
+	}
 	if len(secs) > 0 {
 		srv.OnNotify = func(origin dnswire.Name) {
 			for _, s := range secs {
@@ -165,6 +181,9 @@ func main() {
 	// listener unless -debug-addr splits it onto its own.
 	mountDebug := func(mux *http.ServeMux) {
 		srv.RegisterDebug(mux)
+		if ctl != nil {
+			ctl.RegisterHTTP(mux)
+		}
 		if *withPprof {
 			mux.HandleFunc("/debug/pprof/", pprof.Index)
 			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

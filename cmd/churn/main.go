@@ -1,0 +1,440 @@
+// Command churn is the serve-under-churn proof harness: it stands up a real
+// UDP nameserver plus the control-plane HTTP API, then drives continuous
+// zone changes through POST /ctl/changelist while query workers hammer the
+// same server — the paper's operating regime, where zones are provisioned
+// and modified at full query rate (§3.2, §5).
+//
+// Invariants checked (reported, and enforced with -assert):
+//
+//   - untouched-zone answers stay byte-identical before/during/after churn
+//   - every applied batch costs at most one suffix-router rebuild
+//   - propagation lag (POST accepted → new data visible over UDP) is
+//     bounded; percentiles land in the JSON report
+//   - the requested number of zone changes actually applied
+//
+// Example (the committed EXPERIMENTS.md run):
+//
+//	churn -zones 2048 -changes 1000000 -batch 256 -workers 4 -json report.json -assert
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"akamaidns/internal/ctlplane"
+	"akamaidns/internal/dnswire"
+	"akamaidns/internal/nameserver"
+	"akamaidns/internal/netserve"
+	"akamaidns/internal/obs"
+	"akamaidns/internal/zone"
+)
+
+const controlOrigin = "control.churn.test"
+
+func zoneOrigin(i int) string { return fmt.Sprintf("z%04d.churn.test", i) }
+
+// zoneText renders one churn zone. The www address encodes the serial in
+// its low bytes so a UDP probe can tell which version answered.
+func zoneText(serial uint32) string {
+	return fmt.Sprintf(`
+$TTL 300
+@    IN SOA ns1 host ( %d 3600 600 604800 30 )
+www  IN A 10.0.%d.%d
+api  IN A 192.0.2.200
+`, serial, byte(serial>>8), byte(serial))
+}
+
+const controlText = `
+$TTL 300
+@    IN SOA ns1 host ( 1 3600 600 604800 30 )
+www  IN A 192.0.2.1
+api  IN A 192.0.2.2
+txt  IN TXT "untouched"
+`
+
+// changelistDoc mirrors the POST /ctl/changelist wire format.
+type changelistDoc struct {
+	Zones []zoneEntry `json:"zones"`
+}
+
+type zoneEntry struct {
+	Origin string `json:"origin"`
+	Zone   string `json:"zone"`
+}
+
+type report struct {
+	Zones            int     `json:"zones"`
+	ChangesTarget    int     `json:"changes_target"`
+	ChangesApplied   int     `json:"changes_applied"`
+	Batches          int     `json:"batches"`
+	BatchSize        int     `json:"batch_size"`
+	ElapsedSec       float64 `json:"elapsed_sec"`
+	Answered         uint64  `json:"answered"`
+	AnsweredQPS      float64 `json:"answered_qps"`
+	Timeouts         uint64  `json:"timeouts"`
+	ControlChecks    uint64  `json:"control_checks"`
+	ControlMismatch  uint64  `json:"control_mismatches"`
+	RouterRebuilds   uint64  `json:"router_rebuilds"`
+	LagP50Ms         float64 `json:"lag_p50_ms"`
+	LagP90Ms         float64 `json:"lag_p90_ms"`
+	LagP99Ms         float64 `json:"lag_p99_ms"`
+	LagMaxMs         float64 `json:"lag_max_ms"`
+	LagSamples       int     `json:"lag_samples"`
+	Violations       []string `json:"violations"`
+}
+
+func main() {
+	zones := flag.Int("zones", 2048, "zones under churn")
+	changes := flag.Int("changes", 100000, "total zone changes to apply")
+	batch := flag.Int("batch", 256, "zones per changelist POST")
+	workers := flag.Int("workers", 4, "query workers")
+	seed := flag.Int64("seed", 1, "rng seed for query interleave")
+	duration := flag.Duration("duration", 0, "wall-clock cap (0 = run until -changes applied)")
+	jsonPath := flag.String("json", "", "write the JSON report here ('' = stdout summary only)")
+	assert := flag.Bool("assert", false, "exit non-zero when an invariant is violated")
+	lagBound := flag.Duration("lag-bound", 250*time.Millisecond, "propagation-lag p99 assertion bound")
+	pace := flag.Duration("pace", 0, "sleep between changelist POSTs (give query workers CPU on small machines)")
+	flag.Parse()
+
+	if *batch > *zones {
+		*batch = *zones
+	}
+
+	// Server: real UDP sockets on loopback, control plane on the debug
+	// listener — the exact wiring authdns uses.
+	store := zone.NewStore()
+	eng := nameserver.NewEngine(store)
+	cfg := netserve.DefaultConfig()
+	cfg.UDPAddr = "127.0.0.1:0"
+	cfg.TCPAddr = ""
+	srv := netserve.New(cfg, eng, nil)
+	ctl := ctlplane.New(store, ctlplane.Config{Registry: srv.Reg})
+	if err := srv.Start(); err != nil {
+		fatal("start server: %v", err)
+	}
+	defer srv.Close()
+	ms, err := obs.ServeWith("127.0.0.1:0", srv.Reg, srv.Healthy, func(mux *http.ServeMux) {
+		ctl.RegisterHTTP(mux)
+	})
+	if err != nil {
+		fatal("start control listener: %v", err)
+	}
+	defer ms.Close()
+	udpAddr := srv.UDPAddrActual()
+	ctlURL := "http://" + ms.Addr() + "/ctl/changelist"
+	fmt.Printf("churn: udp %s, control %s\n", udpAddr, ctlURL)
+
+	// Seed: the control zone plus every churn zone at serial 1, installed
+	// through the control plane in one changelist (one router rebuild).
+	seedDoc := changelistDoc{Zones: []zoneEntry{{Origin: controlOrigin, Zone: controlText}}}
+	for i := 0; i < *zones; i++ {
+		seedDoc.Zones = append(seedDoc.Zones, zoneEntry{Origin: zoneOrigin(i), Zone: zoneText(1)})
+	}
+	if st := postChangelist(ctlURL, seedDoc); st != "applied" {
+		fatal("seed changelist status %q", st)
+	}
+	rebuildsAfterSeed := store.RouterRebuilds()
+
+	// Baseline: the control zone's answer bytes with a fixed query, the
+	// byte-identity oracle for untouched zones.
+	baselineQ := packQuery(0x4242, "www."+controlOrigin)
+	baseline, err := queryOnce(udpAddr, baselineQ, time.Second)
+	if err != nil {
+		fatal("baseline control query: %v", err)
+	}
+
+	var (
+		stop            atomic.Bool
+		answered        atomic.Uint64
+		timeouts        atomic.Uint64
+		controlChecks   atomic.Uint64
+		controlMismatch atomic.Uint64
+		wg              sync.WaitGroup
+	)
+
+	// Query workers: open-loop blast over churned zones, with the control
+	// zone interleaved 1-in-16 and byte-compared against the baseline.
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(w)))
+			conn, err := net.Dial("udp", udpAddr)
+			if err != nil {
+				fatal("worker dial: %v", err)
+			}
+			defer conn.Close()
+			buf := make([]byte, 4096)
+			for !stop.Load() {
+				var q []byte
+				control := rng.Intn(16) == 0
+				if control {
+					q = baselineQ
+				} else {
+					q = packQuery(uint16(rng.Intn(0xffff)+1), "www."+zoneOrigin(rng.Intn(*zones)))
+				}
+				resp, err := querConn(conn, q, buf, 200*time.Millisecond)
+				if err != nil {
+					timeouts.Add(1)
+					continue
+				}
+				answered.Add(1)
+				if control {
+					controlChecks.Add(1)
+					if !bytes.Equal(resp, baseline) {
+						controlMismatch.Add(1)
+					}
+				}
+			}
+		}(w)
+	}
+
+	// Churn driver: rotate a batch window across the zone set, bumping each
+	// batch to the next serial via real HTTP POSTs, sampling propagation
+	// lag (POST issued → new serial-coded address visible over UDP).
+	probeConn, err := net.Dial("udp", udpAddr)
+	if err != nil {
+		fatal("probe dial: %v", err)
+	}
+	defer probeConn.Close()
+	probeBuf := make([]byte, 4096)
+
+	var (
+		lags    []time.Duration
+		applied int
+		batches int
+	)
+	start := time.Now()
+	serialOf := make([]uint32, *zones)
+	for i := range serialOf {
+		serialOf[i] = 1
+	}
+	next := 0
+	deadline := time.Time{}
+	if *duration > 0 {
+		deadline = start.Add(*duration)
+	}
+	for applied < *changes {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			break
+		}
+		n := *batch
+		if rem := *changes - applied; rem < n {
+			n = rem
+		}
+		doc := changelistDoc{}
+		probeZone := -1
+		var probeSerial uint32
+		for k := 0; k < n; k++ {
+			i := (next + k) % *zones
+			serialOf[i]++
+			doc.Zones = append(doc.Zones, zoneEntry{Origin: zoneOrigin(i), Zone: zoneText(serialOf[i])})
+			if k == 0 {
+				probeZone, probeSerial = i, serialOf[i]
+			}
+		}
+		next = (next + n) % *zones
+		t0 := time.Now()
+		if st := postChangelist(ctlURL, doc); st != "applied" {
+			fatal("batch %d status %q", batches, st)
+		}
+		applied += n
+		batches++
+		// Propagation probe: poll until the batch's first zone serves its
+		// new serial-coded address.
+		lag, ok := awaitSerial(probeConn, probeBuf, zoneOrigin(probeZone), probeSerial, t0)
+		if ok {
+			lags = append(lags, lag)
+		}
+		if *pace > 0 {
+			time.Sleep(*pace)
+		}
+	}
+	elapsed := time.Since(start)
+	stop.Store(true)
+	wg.Wait()
+
+	// Post-churn: the control zone must still answer byte-identically.
+	final, err := queryOnce(udpAddr, baselineQ, time.Second)
+	if err != nil {
+		fatal("final control query: %v", err)
+	}
+	controlChecks.Add(1)
+	if !bytes.Equal(final, baseline) {
+		controlMismatch.Add(1)
+	}
+
+	rebuilds := store.RouterRebuilds() - rebuildsAfterSeed
+	rep := report{
+		Zones:           *zones,
+		ChangesTarget:   *changes,
+		ChangesApplied:  applied,
+		Batches:         batches,
+		BatchSize:       *batch,
+		ElapsedSec:      elapsed.Seconds(),
+		Answered:        answered.Load(),
+		AnsweredQPS:     float64(answered.Load()) / elapsed.Seconds(),
+		Timeouts:        timeouts.Load(),
+		ControlChecks:   controlChecks.Load(),
+		ControlMismatch: controlMismatch.Load(),
+		RouterRebuilds:  rebuilds,
+		LagSamples:      len(lags),
+		Violations:      []string{},
+	}
+	if len(lags) > 0 {
+		sort.Slice(lags, func(i, j int) bool { return lags[i] < lags[j] })
+		pct := func(q float64) float64 {
+			i := int(q * float64(len(lags)-1))
+			return float64(lags[i]) / float64(time.Millisecond)
+		}
+		rep.LagP50Ms, rep.LagP90Ms, rep.LagP99Ms = pct(0.50), pct(0.90), pct(0.99)
+		rep.LagMaxMs = float64(lags[len(lags)-1]) / float64(time.Millisecond)
+	}
+
+	// Invariants.
+	if rep.ControlMismatch > 0 {
+		rep.Violations = append(rep.Violations, fmt.Sprintf(
+			"untouched-zone answers drifted: %d of %d control checks mismatched the baseline",
+			rep.ControlMismatch, rep.ControlChecks))
+	}
+	if rebuilds > uint64(batches) {
+		rep.Violations = append(rep.Violations, fmt.Sprintf(
+			"rebuild storm: %d router rebuilds for %d apply batches (>1 per batch)", rebuilds, batches))
+	}
+	if *duration == 0 && applied < *changes {
+		rep.Violations = append(rep.Violations, fmt.Sprintf(
+			"only %d of %d changes applied", applied, *changes))
+	}
+	if len(lags) > 0 && rep.LagP99Ms > float64(*lagBound)/float64(time.Millisecond) {
+		rep.Violations = append(rep.Violations, fmt.Sprintf(
+			"propagation lag p99 %.1fms exceeds bound %s", rep.LagP99Ms, *lagBound))
+	}
+
+	fmt.Printf("churn: %d changes in %d batches over %.1fs; %d answered (%.0f qps), %d timeouts\n",
+		applied, batches, rep.ElapsedSec, rep.Answered, rep.AnsweredQPS, rep.Timeouts)
+	fmt.Printf("churn: control checks %d (mismatch %d), rebuilds %d/%d batches, lag p50/p90/p99 = %.1f/%.1f/%.1f ms\n",
+		rep.ControlChecks, rep.ControlMismatch, rebuilds, batches, rep.LagP50Ms, rep.LagP90Ms, rep.LagP99Ms)
+	for _, v := range rep.Violations {
+		fmt.Printf("churn: VIOLATION: %s\n", v)
+	}
+	if *jsonPath != "" {
+		out, _ := json.MarshalIndent(rep, "", "  ")
+		if err := os.WriteFile(*jsonPath, append(out, '\n'), 0o644); err != nil {
+			fatal("write report: %v", err)
+		}
+	}
+	if *assert && len(rep.Violations) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "churn: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+var httpClient = &http.Client{Timeout: 30 * time.Second}
+
+// postChangelist submits one changelist document and returns the plan
+// status string.
+func postChangelist(url string, doc changelistDoc) string {
+	body, err := json.Marshal(doc)
+	if err != nil {
+		fatal("marshal changelist: %v", err)
+	}
+	resp, err := httpClient.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		fatal("POST changelist: %v", err)
+	}
+	defer resp.Body.Close()
+	var pd struct {
+		Status     string `json:"status"`
+		Rejections []struct {
+			Reason string `json:"reason"`
+			Detail string `json:"detail"`
+		} `json:"rejections"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&pd); err != nil {
+		fatal("decode plan response: %v", err)
+	}
+	if len(pd.Rejections) > 0 {
+		fmt.Fprintf(os.Stderr, "churn: rejection: %s (%s)\n", pd.Rejections[0].Reason, pd.Rejections[0].Detail)
+	}
+	return pd.Status
+}
+
+func packQuery(id uint16, name string) []byte {
+	wire, err := dnswire.NewQuery(id, dnswire.MustName(name), dnswire.TypeA).Pack()
+	if err != nil {
+		fatal("pack query for %s: %v", name, err)
+	}
+	return wire
+}
+
+// querConn sends one query on an established UDP conn and returns the
+// response bytes (a copy-free view into buf, valid until the next call).
+func querConn(conn net.Conn, q, buf []byte, timeout time.Duration) ([]byte, error) {
+	if _, err := conn.Write(q); err != nil {
+		return nil, err
+	}
+	conn.SetReadDeadline(time.Now().Add(timeout))
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			return nil, err
+		}
+		if n >= 2 && buf[0] == q[0] && buf[1] == q[1] {
+			return buf[:n], nil
+		}
+		// Stale response from an earlier timed-out query: keep draining.
+	}
+}
+
+func queryOnce(addr string, q []byte, timeout time.Duration) ([]byte, error) {
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	buf := make([]byte, 4096)
+	resp, err := querConn(conn, q, buf, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), resp...), nil
+}
+
+// awaitSerial polls www.<origin> until the serial-coded address for the
+// applied serial answers, returning the lag since t0.
+func awaitSerial(conn net.Conn, buf []byte, origin string, serial uint32, t0 time.Time) (time.Duration, bool) {
+	want := [4]byte{10, 0, byte(serial >> 8), byte(serial)}
+	deadlineAt := t0.Add(2 * time.Second)
+	id := uint16(serial&0x7fff) | 0x8000
+	q := packQuery(id, "www."+origin)
+	for time.Now().Before(deadlineAt) {
+		resp, err := querConn(conn, q, buf, 100*time.Millisecond)
+		if err != nil {
+			continue
+		}
+		m, err := dnswire.Unpack(append([]byte(nil), resp...))
+		if err != nil {
+			continue
+		}
+		for _, rr := range m.Answers {
+			if a, ok := rr.(*dnswire.A); ok && a.Addr.As4() == want {
+				return time.Since(t0), true
+			}
+		}
+	}
+	return 0, false
+}

@@ -229,6 +229,10 @@ type Harness struct {
 	excuseUntil simtime.Time
 
 	injectPort uint16
+
+	// churn is the control-plane churn tracker; nil unless the scenario
+	// injects zone churn (see churn.go).
+	churn *churnTracker
 }
 
 // Platform exposes the assembled platform (for tests poking at internals).
@@ -477,6 +481,7 @@ func (h *Harness) probeSucceeded(pp *probePair, now simtime.Time, resp *pop.DNSR
 		pp.reported = false
 	}
 	h.checkStaleServe(pp, now, resp)
+	h.checkChurnAnswer(pp, now, resp)
 }
 
 func (h *Harness) probeFailed(pp *probePair, now simtime.Time) {

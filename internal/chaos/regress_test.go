@@ -26,6 +26,19 @@ var regressions = []struct {
 		seed:      4,
 		invariant: "stale-suspend",
 	},
+	{
+		// Control-plane churn concurrent with a propagation stall: seed 3
+		// interleaves ~30 changelist applies with the stall window, and the
+		// churn-atomicity oracle (serial-coded www address must belong to a
+		// committed zone version) watches every answered probe. This pins
+		// the whole-zone apply atomicity of Store.Update — any regression
+		// toward in-place record mutation or partial batch visibility
+		// serves a half-applied zone and trips the oracle.
+		name:      "half-applied-zone-under-stall",
+		scenario:  "zone-churn-storm",
+		seed:      3,
+		invariant: "churn-atomicity",
+	},
 }
 
 func TestRegressionSeeds(t *testing.T) {

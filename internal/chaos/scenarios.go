@@ -46,6 +46,13 @@ var scenarios = map[string]func(*Harness){
 	"attack-flood": func(h *Harness) {
 		h.injectFlood()
 	},
+	// zone-churn-storm: the control plane keeps applying changelists to live
+	// zones while metadata propagation stalls mid-storm; every answered
+	// probe must reflect a fully applied zone version, never a torn one.
+	"zone-churn-storm": func(h *Harness) {
+		h.injectZoneChurn()
+		h.injectZoneStall()
+	},
 	// zone-stall: metadata subscriptions freeze past the staleness window;
 	// affected machines must self-suspend rather than serve stale zones.
 	"zone-stall": func(h *Harness) {

@@ -1,0 +1,202 @@
+package ctlplane
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"akamaidns/internal/dnswire"
+	"akamaidns/internal/zone"
+)
+
+// The churn race battery: writers drive changelists through the controller
+// while readers answer from compiled views, under -race. The torn-read
+// oracle is steganographic — every zone version encodes its SOA serial in
+// the www A record's low bytes, so a reader can check that the view it
+// answered from and the answer bytes belong to the same version. Any
+// half-applied zone (old record, new serial or vice versa) trips it.
+
+func churnAddr(serial uint32) netip.Addr {
+	return netip.AddrFrom4([4]byte{10, 0, byte(serial >> 8), byte(serial)})
+}
+
+func churnSerialOf(addr netip.Addr) uint32 {
+	a4 := addr.As4()
+	return uint32(a4[2])<<8 | uint32(a4[3])
+}
+
+func churnDesired(t testing.TB, origin string, serial uint32) *zone.Zone {
+	t.Helper()
+	a := churnAddr(serial)
+	text := fmt.Sprintf(`
+$TTL 300
+@    IN SOA ns1 host ( %d 3600 600 604800 30 )
+www  IN A %s
+api  IN A 192.0.2.200
+`, serial, a)
+	return zone.MustParseMaster(text, dnswire.MustName(origin))
+}
+
+func TestChurnWhileServing(t *testing.T) {
+	const (
+		writers        = 32
+		zonesPerWriter = 2
+		rounds         = 100
+		readers        = 8
+	)
+	store := zone.NewStore()
+	c := New(store, Config{})
+
+	// Seed every zone at serial 1 in one batch.
+	var seed Changelist
+	origins := make([]string, 0, writers*zonesPerWriter)
+	for w := 0; w < writers; w++ {
+		for k := 0; k < zonesPerWriter; k++ {
+			origin := fmt.Sprintf("churn-%02d-%d.race.test", w, k)
+			origins = append(origins, origin)
+			seed.Zones = append(seed.Zones, ZoneChange{
+				Origin:  dnswire.MustName(origin),
+				Desired: churnDesired(t, origin, 1),
+			})
+		}
+	}
+	if p, err := c.SubmitApply(seed); err != nil || p.Status != StatusApplied {
+		t.Fatalf("seed apply: %v %+v", err, p)
+	}
+	rebuildsAfterSeed := store.RouterRebuilds()
+
+	var (
+		stop         atomic.Bool
+		appliedPlans atomic.Uint64
+		readsDone    atomic.Uint64
+		wgWriters    sync.WaitGroup
+		wgReaders    sync.WaitGroup
+	)
+	errs := make(chan string, writers+readers)
+	fail := func(format string, args ...any) {
+		select {
+		case errs <- fmt.Sprintf(format, args...):
+		default:
+		}
+		stop.Store(true)
+	}
+
+	// Writers: each owns its zones exclusively, so serials advance without
+	// conflicts; every round is one changelist updating both zones.
+	for w := 0; w < writers; w++ {
+		wgWriters.Add(1)
+		go func(w int) {
+			defer wgWriters.Done()
+			serial := uint32(1)
+			for r := 0; r < rounds && !stop.Load(); r++ {
+				serial++
+				var cl Changelist
+				for k := 0; k < zonesPerWriter; k++ {
+					origin := fmt.Sprintf("churn-%02d-%d.race.test", w, k)
+					cl.Zones = append(cl.Zones, ZoneChange{
+						Origin:  dnswire.MustName(origin),
+						Desired: churnDesired(t, origin, serial),
+					})
+				}
+				p, err := c.SubmitApply(cl)
+				if err != nil {
+					fail("writer %d round %d: %v", w, r, err)
+					return
+				}
+				if p.Status != StatusApplied {
+					fail("writer %d round %d: plan %s %+v", w, r, p.Status, p.Rejections)
+					return
+				}
+				appliedPlans.Add(1)
+			}
+		}(w)
+	}
+
+	// Readers: route lock-free, answer from the compiled view, and demand
+	// version coherence between the view's serial and the serial-coded
+	// answer address. Store generation and router rebuild counters must be
+	// monotonic from any single reader's perspective.
+	for rd := 0; rd < readers; rd++ {
+		wgReaders.Add(1)
+		go func(rd int) {
+			defer wgReaders.Done()
+			var lastGen, lastRebuilds uint64
+			i := rd
+			for !stop.Load() {
+				origin := origins[i%len(origins)]
+				i += 7 // co-prime stride so readers cover all zones
+				qname := dnswire.MustName("www." + origin)
+				z := store.Find(qname)
+				if z == nil {
+					fail("reader %d: zone for %s unroutable mid-churn", rd, origin)
+					return
+				}
+				v := z.View()
+				ans := v.Lookup(qname, dnswire.TypeA)
+				if len(ans.Answer) != 1 {
+					fail("reader %d: %s answered %d records, want 1", rd, qname, len(ans.Answer))
+					return
+				}
+				a, ok := ans.Answer[0].(*dnswire.A)
+				if !ok {
+					fail("reader %d: %s answered %T", rd, qname, ans.Answer[0])
+					return
+				}
+				if got, want := churnSerialOf(a.Addr), v.Serial(); got != want {
+					fail("reader %d: TORN READ on %s: answer encodes serial %d, view serial %d",
+						rd, origin, got, want)
+					return
+				}
+				if g := store.Gen(); g < lastGen {
+					fail("reader %d: store generation went backwards %d→%d", rd, lastGen, g)
+					return
+				} else {
+					lastGen = g
+				}
+				if rb := store.RouterRebuilds(); rb < lastRebuilds {
+					fail("reader %d: router rebuilds went backwards %d→%d", rd, lastRebuilds, rb)
+					return
+				} else {
+					lastRebuilds = rb
+				}
+				readsDone.Add(1)
+			}
+		}(rd)
+	}
+
+	wgWriters.Wait()
+	stop.Store(true)
+	wgReaders.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Error(msg)
+	}
+	if t.Failed() {
+		return
+	}
+
+	// The debounce invariant: each applied plan cost at most one rebuild.
+	applied := appliedPlans.Load()
+	if applied != writers*rounds {
+		t.Fatalf("applied %d plans, want %d", applied, writers*rounds)
+	}
+	rebuilds := store.RouterRebuilds() - rebuildsAfterSeed
+	if rebuilds > applied {
+		t.Fatalf("%d router rebuilds for %d applied plans (>1 per batch)", rebuilds, applied)
+	}
+	// Every zone must land on its writer's final serial.
+	for _, origin := range origins {
+		z := store.Get(dnswire.MustName(origin))
+		if z == nil {
+			t.Fatalf("zone %s missing after churn", origin)
+		}
+		if got := z.Serial(); got != rounds+1 {
+			t.Fatalf("zone %s serial = %d, want %d", origin, got, rounds+1)
+		}
+	}
+	if readsDone.Load() == 0 {
+		t.Fatal("readers performed no reads")
+	}
+}

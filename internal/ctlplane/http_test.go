@@ -1,0 +1,189 @@
+package ctlplane
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"akamaidns/internal/dnswire"
+	"akamaidns/internal/zone"
+)
+
+func newHTTPController(t *testing.T) (*Controller, *httptest.Server) {
+	t.Helper()
+	c := New(zone.NewStore(), Config{})
+	mux := http.NewServeMux()
+	c.RegisterHTTP(mux)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return c, ts
+}
+
+func postChangelist(t *testing.T, url string, doc changelistDoc) (*http.Response, planDoc) {
+	t.Helper()
+	body, _ := json.Marshal(doc)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer resp.Body.Close()
+	var pd planDoc
+	if err := json.NewDecoder(resp.Body).Decode(&pd); err != nil {
+		t.Fatalf("decode plan doc: %v", err)
+	}
+	return resp, pd
+}
+
+func TestHTTPChangelistApply(t *testing.T) {
+	c, ts := newHTTPController(t)
+
+	resp, pd := postChangelist(t, ts.URL+"/ctl/changelist", changelistDoc{
+		Zones: []zoneChangeDoc{{
+			Origin: "web.test",
+			Zone:   masterText(3, "api IN A 192.0.2.77"),
+		}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("apply status = %d, doc %+v", resp.StatusCode, pd)
+	}
+	if pd.Status != StatusApplied || len(pd.Zones) != 1 || pd.Zones[0].Op != OpCreate {
+		t.Fatalf("plan doc = %+v", pd)
+	}
+	z := c.Store().Get(dnswire.MustName("web.test"))
+	if z == nil || z.Serial() != 3 {
+		t.Fatal("zone not serving after HTTP apply")
+	}
+
+	// GET /ctl/plan returns the latest plan.
+	getResp, err := http.Get(ts.URL + "/ctl/plan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var latest planDoc
+	json.NewDecoder(getResp.Body).Decode(&latest)
+	getResp.Body.Close()
+	if latest.ID != pd.ID {
+		t.Fatalf("GET /ctl/plan id = %d, want %d", latest.ID, pd.ID)
+	}
+
+	// GET /ctl/status shows the applied plan and serving zone.
+	stResp, err := http.Get(ts.URL + "/ctl/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st map[string]any
+	json.NewDecoder(stResp.Body).Decode(&st)
+	stResp.Body.Close()
+	if st["zones_serving"].(float64) != 1 {
+		t.Fatalf("status doc = %+v", st)
+	}
+}
+
+func TestHTTPPlanThenApply(t *testing.T) {
+	c, ts := newHTTPController(t)
+	resp, pd := postChangelist(t, ts.URL+"/ctl/changelist?mode=plan", changelistDoc{
+		Zones: []zoneChangeDoc{{Origin: "staged.test", Zone: masterText(1, "")}},
+	})
+	if resp.StatusCode != http.StatusOK || pd.Status != StatusPlanned {
+		t.Fatalf("plan-only submit: %d %+v", resp.StatusCode, pd)
+	}
+	if c.Store().Len() != 0 {
+		t.Fatal("mode=plan installed a zone")
+	}
+
+	applyResp, err := http.Post(fmt.Sprintf("%s/ctl/apply?id=%d", ts.URL, pd.ID), "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var applied planDoc
+	json.NewDecoder(applyResp.Body).Decode(&applied)
+	applyResp.Body.Close()
+	if applyResp.StatusCode != http.StatusOK || applied.Status != StatusApplied {
+		t.Fatalf("staged apply: %d %+v", applyResp.StatusCode, applied)
+	}
+	if c.Store().Len() != 1 {
+		t.Fatal("staged apply did not install the zone")
+	}
+
+	// Second apply of the same plan must conflict.
+	again, err := http.Post(fmt.Sprintf("%s/ctl/apply?id=%d", ts.URL, pd.ID), "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again.Body.Close()
+	if again.StatusCode != http.StatusConflict {
+		t.Fatalf("double apply status = %d, want 409", again.StatusCode)
+	}
+}
+
+func TestHTTPRejectionPaths(t *testing.T) {
+	_, ts := newHTTPController(t)
+
+	// Validation rejection → 422 with reasons.
+	resp, pd := postChangelist(t, ts.URL+"/ctl/changelist", changelistDoc{
+		Zones: []zoneChangeDoc{{Origin: "bad.test", Zone: "$TTL 300\n@ IN CNAME other.test.\n"}},
+	})
+	if resp.StatusCode != http.StatusUnprocessableEntity || pd.Status != StatusRejected {
+		t.Fatalf("invalid zone: %d %+v", resp.StatusCode, pd)
+	}
+	if len(pd.Rejections) == 0 {
+		t.Fatal("rejected plan doc carries no rejections")
+	}
+
+	// Unparseable master text → 422 parse-error.
+	resp, pd = postChangelist(t, ts.URL+"/ctl/changelist", changelistDoc{
+		Zones: []zoneChangeDoc{{Origin: "garbled.test", Zone: "www IN A not-an-address\n"}},
+	})
+	if resp.StatusCode != http.StatusUnprocessableEntity || pd.Rejections[0].Reason != "parse-error" {
+		t.Fatalf("garbled zone: %d %+v", resp.StatusCode, pd)
+	}
+
+	// Malformed JSON → 400.
+	r, err := http.Post(ts.URL+"/ctl/changelist", "application/json", bytes.NewReader([]byte("{nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON status = %d", r.StatusCode)
+	}
+
+	// GET on the changelist endpoint → 405.
+	g, err := http.Get(ts.URL + "/ctl/changelist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Body.Close()
+	if g.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET changelist status = %d", g.StatusCode)
+	}
+
+	// Unknown plan → 404.
+	u, err := http.Get(ts.URL + "/ctl/plan?id=999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	u.Body.Close()
+	if u.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown plan status = %d", u.StatusCode)
+	}
+}
+
+func TestHTTPDeleteZone(t *testing.T) {
+	c, ts := newHTTPController(t)
+	postChangelist(t, ts.URL+"/ctl/changelist", changelistDoc{
+		Zones: []zoneChangeDoc{{Origin: "gone.test", Zone: masterText(1, "")}},
+	})
+	resp, pd := postChangelist(t, ts.URL+"/ctl/changelist", changelistDoc{
+		Zones: []zoneChangeDoc{{Origin: "gone.test", Delete: true}},
+	})
+	if resp.StatusCode != http.StatusOK || pd.Zones[0].Op != OpDelete {
+		t.Fatalf("delete over HTTP: %d %+v", resp.StatusCode, pd)
+	}
+	if c.Store().Get(dnswire.MustName("gone.test")) != nil {
+		t.Fatal("zone survives HTTP delete")
+	}
+}

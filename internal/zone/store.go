@@ -77,33 +77,76 @@ func (s *Store) Gen() uint64 { return s.gen.Load() }
 
 func (s *Store) bump() { s.gen.Add(1) }
 
-// Put installs (or replaces) a zone and subscribes to its in-place
-// mutations, so serial bumps on a live zone invalidate store-derived caches.
-func (s *Store) Put(z *Zone) {
-	z.setChangeHook(s.bump)
-	s.mu.Lock()
-	s.zones[z.Origin()] = z
-	s.rebuildRouterLocked()
-	s.mu.Unlock()
-	s.bump()
+// Tx batches zone installs and removals under one store lock: every
+// mutation made inside a single Update call becomes visible together, with
+// exactly one suffix-router rebuild and one generation bump for the whole
+// batch instead of one per zone. Control-plane applies that touch hundreds
+// of zones use this to keep rebuild cost O(batch), not O(batch × zones).
+// A Tx is only valid inside the Update callback that provided it.
+type Tx struct {
+	s     *Store
+	dirty bool
 }
 
-// Delete removes the zone with the given origin, reporting whether it
-// existed.
-func (s *Store) Delete(origin dnswire.Name) bool {
-	s.mu.Lock()
-	z, ok := s.zones[origin]
-	if ok {
-		delete(s.zones, origin)
-		s.rebuildRouterLocked()
-	}
-	s.mu.Unlock()
+// Put installs (or replaces) a zone within the batch.
+func (tx *Tx) Put(z *Zone) {
+	z.setChangeHook(tx.s.bump)
+	tx.s.zones[z.Origin()] = z
+	tx.dirty = true
+}
+
+// Delete removes the zone with the given origin within the batch, reporting
+// whether it existed.
+func (tx *Tx) Delete(origin dnswire.Name) bool {
+	z, ok := tx.s.zones[origin]
 	if !ok {
 		return false
 	}
+	delete(tx.s.zones, origin)
 	z.setChangeHook(nil)
-	s.bump()
+	tx.dirty = true
 	return true
+}
+
+// Get returns the currently installed zone for origin (including zones
+// installed earlier in this same batch), or nil.
+func (tx *Tx) Get(origin dnswire.Name) *Zone { return tx.s.zones[origin] }
+
+// Len reports the number of installed zones as of this point in the batch.
+func (tx *Tx) Len() int { return len(tx.s.zones) }
+
+// Update runs fn against a batch transaction holding the store lock. If fn
+// mutated anything, the router is rebuilt once and the generation bumped
+// once after fn returns — the debounce that turns an N-zone apply into a
+// single rebuild. Lock-free readers (Find/FindWire) keep routing on the old
+// snapshot until the rebuild publishes, so a batch is atomic with respect
+// to the router: no reader ever observes a half-applied zone set.
+func (s *Store) Update(fn func(tx *Tx)) {
+	tx := &Tx{s: s}
+	s.mu.Lock()
+	fn(tx)
+	if tx.dirty {
+		s.rebuildRouterLocked()
+	}
+	s.mu.Unlock()
+	if tx.dirty {
+		s.bump()
+	}
+}
+
+// Put installs (or replaces) a zone and subscribes to its in-place
+// mutations, so serial bumps on a live zone invalidate store-derived caches.
+// A single-zone batch: use Update to install many zones with one rebuild.
+func (s *Store) Put(z *Zone) {
+	s.Update(func(tx *Tx) { tx.Put(z) })
+}
+
+// Delete removes the zone with the given origin, reporting whether it
+// existed. A single-zone batch: use Update to remove many zones with one
+// rebuild.
+func (s *Store) Delete(origin dnswire.Name) (ok bool) {
+	s.Update(func(tx *Tx) { ok = tx.Delete(origin) })
+	return ok
 }
 
 // Get returns the zone with exactly the given origin, or nil.
