@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race vet bench bench-compile bench-smoke bench-json bench-alloc-guard bench-saturate bench-saturate-smoke experiments fuzz chaos chaos-soak churn churn-smoke examples clean
+.PHONY: all build test race vet bench bench-compile bench-smoke bench-json bench-alloc-guard bench-saturate bench-saturate-smoke experiments fuzz chaos chaos-soak churn churn-smoke propagate-smoke examples clean
 
 all: build test
 
@@ -25,7 +25,8 @@ race:
 	go test -race -run='TestBatchParity|TestBatchDrainWakes|TestUDPGroupSamePort' -count=2 ./internal/netserve/
 	go test -race -count=2 ./internal/udpbatch/
 	go test -race -run='TestCoordinatorRaceStress|TestCoordinatorQuorumUnionOverGrant' -count=2 ./internal/monitor/
-	go test -race -run='TestChurnWhileServing' ./internal/ctlplane/
+	go test -race -run='TestChurnWhileServing|TestPublishOrderingUnderRace' ./internal/ctlplane/
+	go test -race -run='TestPullLoopRace' -count=2 ./internal/propagate/
 
 vet:
 	go vet ./...
@@ -115,6 +116,18 @@ churn:
 # CI-shaped smoke: ~20k changes with a fixed seed, same assertions.
 churn-smoke:
 	go run ./cmd/churn -zones 256 -batch 128 -changes 20000 -workers 2 -seed 7 -pace 1ms -assert
+
+# Propagation-plane smoke: the pull fleet against a lossy, corrupting,
+# duplicating link plus the propagation-storm chaos battery (seeds 1-8 with
+# convergence, staleness, and churn-atomicity invariants). Every edge
+# machine must end byte-identical to the controller; corrupt transfers are
+# rejected by checksum before install, never served.
+propagate-smoke:
+	go run ./cmd/churn -zones 128 -batch 32 -changes 1500 -workers 1 -seed 7 \
+		-pull 4 -pull-drop 0.1 -pull-corrupt 0.02 -pull-dup 0.05 \
+		-pull-delay 2ms -pull-delay-jitter 3ms -pull-timeout 100ms \
+		-lag-bound 1s -assert
+	go test ./internal/chaos -run 'TestPropagationStorm' -v
 
 examples:
 	go run ./examples/quickstart

@@ -73,24 +73,31 @@ type zoneEntry struct {
 }
 
 type report struct {
-	Zones            int     `json:"zones"`
-	ChangesTarget    int     `json:"changes_target"`
-	ChangesApplied   int     `json:"changes_applied"`
-	Batches          int     `json:"batches"`
-	BatchSize        int     `json:"batch_size"`
-	ElapsedSec       float64 `json:"elapsed_sec"`
-	Answered         uint64  `json:"answered"`
-	AnsweredQPS      float64 `json:"answered_qps"`
-	Timeouts         uint64  `json:"timeouts"`
-	ControlChecks    uint64  `json:"control_checks"`
-	ControlMismatch  uint64  `json:"control_mismatches"`
-	RouterRebuilds   uint64  `json:"router_rebuilds"`
-	LagP50Ms         float64 `json:"lag_p50_ms"`
-	LagP90Ms         float64 `json:"lag_p90_ms"`
-	LagP99Ms         float64 `json:"lag_p99_ms"`
-	LagMaxMs         float64 `json:"lag_max_ms"`
-	LagSamples       int     `json:"lag_samples"`
-	Violations       []string `json:"violations"`
+	Zones           int                 `json:"zones"`
+	ChangesTarget   int                 `json:"changes_target"`
+	ChangesApplied  int                 `json:"changes_applied"`
+	Batches         int                 `json:"batches"`
+	BatchSize       int                 `json:"batch_size"`
+	ElapsedSec      float64             `json:"elapsed_sec"`
+	Answered        uint64              `json:"answered"`
+	AnsweredQPS     float64             `json:"answered_qps"`
+	Timeouts        uint64              `json:"timeouts"`
+	ControlChecks   uint64              `json:"control_checks"`
+	ControlMismatch uint64              `json:"control_mismatches"`
+	RouterRebuilds  uint64              `json:"router_rebuilds"`
+	LagP50Ms        float64             `json:"lag_p50_ms"`
+	LagP90Ms        float64             `json:"lag_p90_ms"`
+	LagP99Ms        float64             `json:"lag_p99_ms"`
+	LagMaxMs        float64             `json:"lag_max_ms"`
+	LagSamples      int                 `json:"lag_samples"`
+	PullMachines    int                 `json:"pull_machines,omitempty"`
+	PullLagSamples  int                 `json:"pull_lag_samples,omitempty"`
+	PullLagP50Ms    float64             `json:"pull_lag_p50_ms,omitempty"`
+	PullLagP90Ms    float64             `json:"pull_lag_p90_ms,omitempty"`
+	PullLagP99Ms    float64             `json:"pull_lag_p99_ms,omitempty"`
+	PullLagMaxMs    float64             `json:"pull_lag_max_ms,omitempty"`
+	PullPerMachine  []pullMachineReport `json:"pull_per_machine,omitempty"`
+	Violations      []string            `json:"violations"`
 }
 
 func main() {
@@ -104,6 +111,16 @@ func main() {
 	assert := flag.Bool("assert", false, "exit non-zero when an invariant is violated")
 	lagBound := flag.Duration("lag-bound", 250*time.Millisecond, "propagation-lag p99 assertion bound")
 	pace := flag.Duration("pace", 0, "sleep between changelist POSTs (give query workers CPU on small machines)")
+	pf := pullFlags{}
+	flag.IntVar(&pf.n, "pull", 0, "pull-propagation edge machines, each with its own store, pull loop, and UDP server (0 = off)")
+	flag.DurationVar(&pf.interval, "pull-interval", 200*time.Millisecond, "pull poll interval")
+	flag.DurationVar(&pf.timeout, "pull-timeout", time.Second, "per-attempt pull transfer timeout")
+	flag.DurationVar(&pf.deadline, "pull-lag-deadline", 15*time.Second, "give up sampling a batch's pull lag after this long")
+	flag.Float64Var(&pf.drop, "pull-drop", 0, "pull link drop rate [0,1)")
+	flag.Float64Var(&pf.corrupt, "pull-corrupt", 0, "pull link corruption rate [0,1)")
+	flag.Float64Var(&pf.dup, "pull-dup", 0, "pull link duplication rate [0,1)")
+	flag.DurationVar(&pf.delay, "pull-delay", 2*time.Millisecond, "pull link one-way delay")
+	flag.DurationVar(&pf.jitter, "pull-delay-jitter", 0, "pull link delay jitter")
 	flag.Parse()
 
 	if *batch > *zones {
@@ -118,7 +135,23 @@ func main() {
 	cfg.UDPAddr = "127.0.0.1:0"
 	cfg.TCPAddr = ""
 	srv := netserve.New(cfg, eng, nil)
-	ctl := ctlplane.New(store, ctlplane.Config{Registry: srv.Reg})
+
+	// Optional pull fleet: edge machines with their own stores fed by the
+	// propagation plane. The control plane records every commit into the
+	// fleet's IXFR history and its publish hook pokes the pull loops, so
+	// changes propagate at notify speed.
+	var fleet *pullFleet
+	ctlCfg := ctlplane.Config{Registry: srv.Reg}
+	if pf.n > 0 {
+		var err error
+		if fleet, err = newPullFleet(store, pf, *seed); err != nil {
+			fatal("pull fleet: %v", err)
+		}
+		defer fleet.close()
+		ctlCfg.History = fleet.hist
+		ctlCfg.Publish = func(dnswire.Name, uint32) { fleet.poke() }
+	}
+	ctl := ctlplane.New(store, ctlCfg)
 	if err := srv.Start(); err != nil {
 		fatal("start server: %v", err)
 	}
@@ -252,9 +285,14 @@ func main() {
 		batches++
 		// Propagation probe: poll until the batch's first zone serves its
 		// new serial-coded address.
-		lag, ok := awaitSerial(probeConn, probeBuf, zoneOrigin(probeZone), probeSerial, t0)
+		lag, ok := awaitSerial(probeConn, probeBuf, zoneOrigin(probeZone), probeSerial, t0, 2*time.Second)
 		if ok {
 			lags = append(lags, lag)
+		}
+		// Pull-plane probe: the same batch must surface on every edge
+		// machine's own socket; samples feed the per-machine distribution.
+		if fleet != nil {
+			fleet.sample(zoneOrigin(probeZone), probeSerial, t0)
 		}
 		if *pace > 0 {
 			time.Sleep(*pace)
@@ -320,10 +358,34 @@ func main() {
 			"propagation lag p99 %.1fms exceeds bound %s", rep.LagP99Ms, *lagBound))
 	}
 
+	// Pull plane: with churn stopped and links as configured, every edge
+	// machine must catch up to the controller exactly — serials and
+	// content both — within the convergence deadline.
+	if fleet != nil {
+		for _, desc := range fleet.converge(store, 30*time.Second) {
+			rep.Violations = append(rep.Violations, "pull machine did not converge: "+desc)
+		}
+		perMachine, all := fleet.reports()
+		rep.PullMachines = pf.n
+		rep.PullPerMachine = perMachine
+		rep.PullLagSamples = len(all)
+		rep.PullLagP50Ms, rep.PullLagP90Ms, rep.PullLagP99Ms, rep.PullLagMaxMs = lagPercentiles(all)
+	}
+
 	fmt.Printf("churn: %d changes in %d batches over %.1fs; %d answered (%.0f qps), %d timeouts\n",
 		applied, batches, rep.ElapsedSec, rep.Answered, rep.AnsweredQPS, rep.Timeouts)
 	fmt.Printf("churn: control checks %d (mismatch %d), rebuilds %d/%d batches, lag p50/p90/p99 = %.1f/%.1f/%.1f ms\n",
 		rep.ControlChecks, rep.ControlMismatch, rebuilds, batches, rep.LagP50Ms, rep.LagP90Ms, rep.LagP99Ms)
+	if fleet != nil {
+		fmt.Printf("churn: pull fleet %d machines (drop=%.2f corrupt=%.2f dup=%.2f), lag p50/p90/p99/max = %.1f/%.1f/%.1f/%.1f ms over %d samples\n",
+			rep.PullMachines, pf.drop, pf.corrupt, pf.dup,
+			rep.PullLagP50Ms, rep.PullLagP90Ms, rep.PullLagP99Ms, rep.PullLagMaxMs, rep.PullLagSamples)
+		for _, r := range rep.PullPerMachine {
+			fmt.Printf("churn: pull %s lag p50/p99 = %.1f/%.1f ms (%d samples, %d misses); cycles=%d fail=%d retry=%d delta=%d full=%d resync=%d corrupt=%d timeout=%d\n",
+				r.ID, r.LagP50Ms, r.LagP99Ms, r.LagSamples, r.LagMisses,
+				r.Cycles, r.Failures, r.Retries, r.DeltaPulls, r.FullPulls, r.Resyncs, r.Corrupt, r.Timeouts)
+		}
+	}
 	for _, v := range rep.Violations {
 		fmt.Printf("churn: VIOLATION: %s\n", v)
 	}
@@ -416,9 +478,9 @@ func queryOnce(addr string, q []byte, timeout time.Duration) ([]byte, error) {
 
 // awaitSerial polls www.<origin> until the serial-coded address for the
 // applied serial answers, returning the lag since t0.
-func awaitSerial(conn net.Conn, buf []byte, origin string, serial uint32, t0 time.Time) (time.Duration, bool) {
+func awaitSerial(conn net.Conn, buf []byte, origin string, serial uint32, t0 time.Time, patience time.Duration) (time.Duration, bool) {
 	want := [4]byte{10, 0, byte(serial >> 8), byte(serial)}
-	deadlineAt := t0.Add(2 * time.Second)
+	deadlineAt := t0.Add(patience)
 	id := uint16(serial&0x7fff) | 0x8000
 	q := packQuery(id, "www."+origin)
 	for time.Now().Before(deadlineAt) {

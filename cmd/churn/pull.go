@@ -1,0 +1,248 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"akamaidns/internal/backoff"
+	"akamaidns/internal/nameserver"
+	"akamaidns/internal/netserve"
+	"akamaidns/internal/propagate"
+	"akamaidns/internal/zone"
+)
+
+// pullMachine is one simulated edge machine: its own zone store, its own
+// UDP nameserver over that store, and a pull loop fetching IXFR/AXFR from
+// the controller through a fault-injectable link. Lag samples measure
+// POST accepted → new serial-coded address visible over this machine's own
+// socket, i.e. the full controller→edge propagation path.
+type pullMachine struct {
+	id    string
+	store *zone.Store
+	srv   *netserve.Server
+	link  *propagate.Link
+	pull  *propagate.Puller
+	conn  net.Conn
+	buf   []byte
+
+	mu     sync.Mutex
+	lags   []time.Duration
+	misses int
+}
+
+// pullFleet owns the pull machines plus the shared history/source pair the
+// controller publishes through.
+type pullFleet struct {
+	hist     *zone.History
+	src      *propagate.Source
+	machines []*pullMachine
+	deadline time.Duration
+}
+
+type pullFlags struct {
+	n        int
+	interval time.Duration
+	timeout  time.Duration
+	deadline time.Duration
+	drop     float64
+	corrupt  float64
+	dup      float64
+	delay    time.Duration
+	jitter   time.Duration
+}
+
+// newPullFleet builds the history (shared with the control plane), the
+// transfer source, and n machines with started pull loops.
+func newPullFleet(store *zone.Store, f pullFlags, seed int64) (*pullFleet, error) {
+	fl := &pullFleet{
+		hist:     zone.NewHistory(64),
+		deadline: f.deadline,
+	}
+	fl.src = propagate.NewSource(store, fl.hist)
+	clock := propagate.NewWallClock()
+	faults := propagate.Faults{
+		Delay:         f.delay,
+		DelayJitter:   f.jitter,
+		DropRate:      f.drop,
+		CorruptRate:   f.corrupt,
+		DuplicateRate: f.dup,
+	}
+	for i := 0; i < f.n; i++ {
+		pm := &pullMachine{
+			id:    fmt.Sprintf("pm%02d", i),
+			store: zone.NewStore(),
+			buf:   make([]byte, 4096),
+		}
+		cfg := netserve.DefaultConfig()
+		cfg.UDPAddr = "127.0.0.1:0"
+		cfg.TCPAddr = ""
+		pm.srv = netserve.New(cfg, nameserver.NewEngine(pm.store), nil)
+		if err := pm.srv.Start(); err != nil {
+			return nil, fmt.Errorf("start %s: %v", pm.id, err)
+		}
+		pm.link = propagate.NewLink(clock, fl.src, seed+int64(i)*7919)
+		pm.link.SetFaults(faults)
+		pm.pull = propagate.New(propagate.Config{
+			ID:        pm.id,
+			Clock:     clock,
+			Transport: pm.link,
+			Store:     pm.store,
+			Interval:  f.interval,
+			Timeout:   f.timeout,
+			// Loopback round trips are milliseconds, so retry much more
+			// aggressively than the wide-area default: lossy-link lag
+			// measurements should be dominated by the loss, not by the
+			// harness waiting out conservative backoff ceilings.
+			Backoff: backoff.Policy{Base: 25 * time.Millisecond, Max: 250 * time.Millisecond, Factor: 2, Jitter: 0.5},
+			Seed:    seed + int64(i),
+		})
+		conn, err := net.Dial("udp", pm.srv.UDPAddrActual())
+		if err != nil {
+			return nil, fmt.Errorf("dial %s: %v", pm.id, err)
+		}
+		pm.conn = conn
+		pm.pull.Start()
+		fl.machines = append(fl.machines, pm)
+	}
+	return fl, nil
+}
+
+// poke nudges every machine's pull loop; wired into the control plane's
+// publish hook so commits propagate at notify speed, not poll speed.
+func (fl *pullFleet) poke() {
+	for _, pm := range fl.machines {
+		pm.pull.Poke()
+	}
+}
+
+// sample measures, in parallel across machines, how long the batch applied
+// at t0 takes to become visible on each machine's own UDP socket.
+func (fl *pullFleet) sample(origin string, serial uint32, t0 time.Time) {
+	var wg sync.WaitGroup
+	for _, pm := range fl.machines {
+		pm := pm
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lag, ok := awaitSerial(pm.conn, pm.buf, origin, serial, t0, fl.deadline)
+			pm.mu.Lock()
+			if ok {
+				pm.lags = append(pm.lags, lag)
+			} else {
+				pm.misses++
+			}
+			pm.mu.Unlock()
+		}()
+	}
+	wg.Wait()
+}
+
+// converge waits until every machine's store matches the controller's —
+// same origins, serials, and content hashes — or the deadline passes.
+// Returns the per-machine failure descriptions (empty = converged).
+func (fl *pullFleet) converge(ctl *zone.Store, deadline time.Duration) []string {
+	until := time.Now().Add(deadline)
+	var stuck []string
+	for _, pm := range fl.machines {
+		for {
+			if desc := storeMismatch(ctl, pm.store); desc == "" {
+				break
+			} else if time.Now().After(until) {
+				stuck = append(stuck, fmt.Sprintf("%s: %s (status %s)", pm.id, desc, pm.pull.String()))
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	return stuck
+}
+
+// storeMismatch describes the first difference between the controller
+// store and a machine store, or "" when they are identical.
+func storeMismatch(ctl, local *zone.Store) string {
+	want := ctl.Serials()
+	got := local.Serials()
+	if len(want) != len(got) {
+		return fmt.Sprintf("%d zones, controller has %d", len(got), len(want))
+	}
+	for origin, serial := range want {
+		ls, ok := got[origin]
+		if !ok {
+			return fmt.Sprintf("missing zone %s", origin)
+		}
+		if ls != serial {
+			return fmt.Sprintf("zone %s at serial %d, controller at %d", origin, ls, serial)
+		}
+		if propagate.ZoneSum(local.Get(origin)) != propagate.ZoneSum(ctl.Get(origin)) {
+			return fmt.Sprintf("zone %s serial %d content differs", origin, serial)
+		}
+	}
+	return ""
+}
+
+// close stops the pull loops and the per-machine servers.
+func (fl *pullFleet) close() {
+	for _, pm := range fl.machines {
+		pm.pull.Stop()
+		pm.conn.Close()
+		pm.srv.Close()
+	}
+}
+
+// pullMachineReport is the per-machine slice of the JSON report.
+type pullMachineReport struct {
+	ID         string  `json:"id"`
+	LagSamples int     `json:"lag_samples"`
+	LagMisses  int     `json:"lag_misses"`
+	LagP50Ms   float64 `json:"lag_p50_ms"`
+	LagP90Ms   float64 `json:"lag_p90_ms"`
+	LagP99Ms   float64 `json:"lag_p99_ms"`
+	LagMaxMs   float64 `json:"lag_max_ms"`
+	Cycles     uint64  `json:"cycles"`
+	Failures   uint64  `json:"failures"`
+	Retries    uint64  `json:"retries"`
+	DeltaPulls uint64  `json:"delta_pulls"`
+	FullPulls  uint64  `json:"full_pulls"`
+	Resyncs    uint64  `json:"resyncs"`
+	Corrupt    uint64  `json:"corrupt_rejected"`
+	Timeouts   uint64  `json:"timeouts"`
+}
+
+// reports renders per-machine stats plus the aggregate lag distribution
+// across every machine's samples.
+func (fl *pullFleet) reports() ([]pullMachineReport, []time.Duration) {
+	var out []pullMachineReport
+	var all []time.Duration
+	for _, pm := range fl.machines {
+		pm.mu.Lock()
+		lags := append([]time.Duration(nil), pm.lags...)
+		misses := pm.misses
+		pm.mu.Unlock()
+		all = append(all, lags...)
+		st := pm.pull.Status()
+		r := pullMachineReport{
+			ID: pm.id, LagSamples: len(lags), LagMisses: misses,
+			Cycles: st.Cycles, Failures: st.Failures, Retries: st.Retries,
+			DeltaPulls: st.DeltaPulls, FullPulls: st.FullPulls,
+			Resyncs: st.Resyncs, Corrupt: st.CorruptRejected, Timeouts: st.Timeouts,
+		}
+		r.LagP50Ms, r.LagP90Ms, r.LagP99Ms, r.LagMaxMs = lagPercentiles(lags)
+		out = append(out, r)
+	}
+	return out, all
+}
+
+// lagPercentiles sorts in place and returns p50/p90/p99/max in ms.
+func lagPercentiles(lags []time.Duration) (p50, p90, p99, max float64) {
+	if len(lags) == 0 {
+		return
+	}
+	sort.Slice(lags, func(i, j int) bool { return lags[i] < lags[j] })
+	pct := func(q float64) float64 {
+		return float64(lags[int(q*float64(len(lags)-1))]) / float64(time.Millisecond)
+	}
+	return pct(0.50), pct(0.90), pct(0.99), float64(lags[len(lags)-1]) / float64(time.Millisecond)
+}

@@ -1,0 +1,77 @@
+// Package backoff provides exponential backoff with jitter for retry
+// loops. The policy is a pure function of (attempt, rng): callers that
+// need reproducible schedules — the chaos harness, deterministic
+// simulations — inject a seeded *rand.Rand and get byte-identical delay
+// sequences for the same seed.
+package backoff
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Policy describes an exponential backoff schedule.
+//
+// The delay for attempt n (0-based) is
+//
+//	min(Base * Factor^n, Max)
+//
+// spread by Jitter: a fraction j in [0,1] replaces the deterministic
+// delay d with a uniform draw from [d*(1-j), d*(1+j)], clamped to Max.
+// The zero Policy is unusable; use Default() or fill the fields.
+type Policy struct {
+	// Base is the delay before the first retry (attempt 0).
+	Base time.Duration
+	// Max caps the grown delay. Zero means no cap.
+	Max time.Duration
+	// Factor is the per-attempt multiplier. Values < 1 are treated as 2.
+	Factor float64
+	// Jitter in [0,1] spreads each delay uniformly around its
+	// deterministic value. 0 disables jitter.
+	Jitter float64
+}
+
+// Default returns the policy used by the propagation pull loop:
+// 100ms base, doubling, capped at 5s, ±50% jitter.
+func Default() Policy {
+	return Policy{Base: 100 * time.Millisecond, Max: 5 * time.Second, Factor: 2, Jitter: 0.5}
+}
+
+// Delay returns the backoff delay for the given 0-based attempt.
+// rng may be nil, in which case no jitter is applied (the deterministic
+// midpoint is returned). Negative attempts are treated as 0.
+func (p Policy) Delay(attempt int, rng *rand.Rand) time.Duration {
+	if attempt < 0 {
+		attempt = 0
+	}
+	factor := p.Factor
+	if factor < 1 {
+		factor = 2
+	}
+	d := float64(p.Base)
+	for i := 0; i < attempt; i++ {
+		d *= factor
+		if p.Max > 0 && d >= float64(p.Max) {
+			d = float64(p.Max)
+			break
+		}
+	}
+	if p.Max > 0 && d > float64(p.Max) {
+		d = float64(p.Max)
+	}
+	if p.Jitter > 0 && rng != nil {
+		j := p.Jitter
+		if j > 1 {
+			j = 1
+		}
+		// Uniform in [d*(1-j), d*(1+j)].
+		d = d * (1 - j + 2*j*rng.Float64())
+		if p.Max > 0 && d > float64(p.Max) {
+			d = float64(p.Max)
+		}
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}

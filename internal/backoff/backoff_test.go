@@ -1,0 +1,96 @@
+package backoff
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestDelayGrowthAndCap(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Max: 2 * time.Second, Factor: 2}
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1600 * time.Millisecond,
+		2 * time.Second,
+		2 * time.Second,
+	}
+	for i, w := range want {
+		if got := p.Delay(i, nil); got != w {
+			t.Errorf("attempt %d: got %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestDelayNegativeAttempt(t *testing.T) {
+	p := Policy{Base: 50 * time.Millisecond, Factor: 2}
+	if got := p.Delay(-3, nil); got != 50*time.Millisecond {
+		t.Errorf("negative attempt: got %v, want base", got)
+	}
+}
+
+func TestDelayNoCap(t *testing.T) {
+	p := Policy{Base: time.Millisecond, Factor: 10}
+	if got := p.Delay(6, nil); got != 1000*time.Second {
+		t.Errorf("uncapped growth: got %v, want 1000s", got)
+	}
+}
+
+func TestDelayDefaultFactor(t *testing.T) {
+	// Factor < 1 (incl. zero value) falls back to doubling rather than
+	// shrinking delays toward a hot spin loop.
+	p := Policy{Base: 100 * time.Millisecond, Factor: 0.5}
+	if got := p.Delay(2, nil); got != 400*time.Millisecond {
+		t.Errorf("factor<1 fallback: got %v, want 400ms", got)
+	}
+}
+
+func TestJitterBoundsAndDeterminism(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Max: 10 * time.Second, Factor: 2, Jitter: 0.5}
+	// Same seed -> identical sequence.
+	a, b := rand.New(rand.NewSource(42)), rand.New(rand.NewSource(42))
+	var seqA, seqB []time.Duration
+	for i := 0; i < 32; i++ {
+		seqA = append(seqA, p.Delay(i%8, a))
+		seqB = append(seqB, p.Delay(i%8, b))
+	}
+	for i := range seqA {
+		if seqA[i] != seqB[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, seqA[i], seqB[i])
+		}
+	}
+	// Every draw stays inside [d/2, 3d/2] (and under Max).
+	rng := rand.New(rand.NewSource(7))
+	for attempt := 0; attempt < 6; attempt++ {
+		mid := p.Delay(attempt, nil)
+		for i := 0; i < 200; i++ {
+			got := p.Delay(attempt, rng)
+			lo, hi := mid/2, mid+mid/2
+			if hi > p.Max {
+				hi = p.Max
+			}
+			if got < lo || got > hi {
+				t.Fatalf("attempt %d: %v outside [%v,%v]", attempt, got, lo, hi)
+			}
+		}
+	}
+}
+
+func TestJitterClampedToMax(t *testing.T) {
+	p := Policy{Base: time.Second, Max: time.Second, Factor: 2, Jitter: 1}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		if got := p.Delay(5, rng); got > time.Second {
+			t.Fatalf("jitter exceeded Max: %v", got)
+		}
+	}
+}
+
+func TestDefaultPolicySane(t *testing.T) {
+	p := Default()
+	if p.Base <= 0 || p.Max < p.Base || p.Factor < 1 || p.Jitter < 0 || p.Jitter > 1 {
+		t.Fatalf("default policy not sane: %+v", p)
+	}
+}

@@ -257,6 +257,7 @@ func Run(cfg Config) (*Result, error) {
 
 	opts := core.DefaultOptions()
 	opts.Seed = cfg.Seed
+	opts.PullPropagation = pullScenarios[cfg.Scenario]
 	opts.NumPoPs = cfg.NumPoPs
 	opts.MachinesPerPoP = cfg.MachinesPerPoP
 	opts.InputDelayed = true

@@ -48,6 +48,9 @@ func (h *Harness) churnInit() *churnTracker {
 		valid: make(map[dnswire.Name]map[[4]byte]bool),
 	}
 	tr.ctl = ctlplane.New(h.p.Store, ctlplane.Config{
+		// History is nil outside pull scenarios; when set, each commit is
+		// recorded so per-machine pullers can fetch IXFR deltas against it.
+		History: h.p.History,
 		Publish: func(origin dnswire.Name, serial uint32) {
 			h.p.Bus.Publish(core.TopicZones, fmt.Sprintf("zone:%s:serial:%d", origin, serial))
 		},

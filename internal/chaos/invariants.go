@@ -31,6 +31,9 @@ func (h *Harness) finalCheck() {
 	h.checkOpenOutages(now)
 	h.checkSuspensionCap(now)
 	h.checkDelegationCoverage(now)
+	if h.p.Opts.PullPropagation {
+		h.checkPropagationConvergence(now)
+	}
 }
 
 // checkSuspensionCap asserts the §4.2.1 consensus bound: the coordinator's

@@ -7,9 +7,9 @@ import "testing"
 // the bug's fix stays load-bearing forever. Add new entries by copying the
 // reproducer out of a failing run's violation report.
 var regressions = []struct {
-	name     string
-	scenario string
-	seed     int64
+	name      string
+	scenario  string
+	seed      int64
 	invariant string
 }{
 	{
@@ -38,6 +38,21 @@ var regressions = []struct {
 		scenario:  "zone-churn-storm",
 		seed:      3,
 		invariant: "churn-atomicity",
+	},
+	{
+		// Seed 7's propagation storm drives the pull plane through every
+		// hard path at once: 15 corrupt transfers rejected by checksum
+		// verification before install, an eviction-driven AXFR resync
+		// (churn outran the bounded IXFR history during loss windows), and
+		// hard outages that walk serve-stale → self-suspend → resume. Pins
+		// verify-before-install (a puller that installs unverified
+		// transfers serves a torn zone and trips churn-atomicity) and the
+		// DeltaResync contract (mistaking eviction for no-history strands
+		// machines behind, tripping propagation-convergence).
+		name:      "corrupt-transfer-and-eviction-resync",
+		scenario:  "propagation-storm",
+		seed:      7,
+		invariant: "propagation-convergence",
 	},
 }
 

@@ -53,6 +53,14 @@ var scenarios = map[string]func(*Harness){
 		h.injectZoneChurn()
 		h.injectZoneStall()
 	},
+	// propagation-storm: every machine pulls zones over its own
+	// fault-injectable link while the control plane churns; lossy links and
+	// hard outages must produce bounded staleness, self-suspension, and —
+	// once faults clear — byte-identical convergence with the controller.
+	"propagation-storm": func(h *Harness) {
+		h.injectZoneChurn()
+		h.injectPropagationStorm()
+	},
 	// zone-stall: metadata subscriptions freeze past the staleness window;
 	// affected machines must self-suspend rather than serve stale zones.
 	"zone-stall": func(h *Harness) {

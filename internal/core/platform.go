@@ -21,6 +21,7 @@ import (
 	"akamaidns/internal/nameserver"
 	"akamaidns/internal/netsim"
 	"akamaidns/internal/pop"
+	"akamaidns/internal/propagate"
 	"akamaidns/internal/pubsub"
 	"akamaidns/internal/simtime"
 	"akamaidns/internal/zone"
@@ -67,6 +68,16 @@ type Options struct {
 	InputDelay time.Duration
 	// ServerConfig, when non-nil, overrides per-machine nameserver config.
 	ServerConfig func(id string) nameserver.Config
+	// PullPropagation gives every regular machine its own zone store fed
+	// by a propagate.Puller over a per-machine fault-capable link,
+	// instead of sharing the controller's store pointer. Zone freshness
+	// then comes only from confirmed sync cycles, and the chaos harness
+	// can break individual propagation paths. Input-delayed machines
+	// keep the shared store (their discipline is about inputs, §4.2.3).
+	PullPropagation bool
+	// PullInterval and PullTimeout tune the pull loop (defaults 2s and
+	// 500ms). Only meaningful with PullPropagation.
+	PullInterval, PullTimeout time.Duration
 }
 
 // DefaultOptions is a laptop-scale platform faithful in structure.
@@ -101,6 +112,13 @@ type PlatformMachine struct {
 	*pop.Machine
 	PoP     *pop.PoP
 	Filters *MachineFilters
+	// LocalStore is the store this machine serves from: its own under
+	// PullPropagation, the shared controller store otherwise.
+	LocalStore *zone.Store
+	// Puller and PullLink are set under PullPropagation: the machine's
+	// pull loop and its fault-injectable link to the controller.
+	Puller   *propagate.Puller
+	PullLink *propagate.Link
 	// sub is the machine's metadata subscription (frozen on first use for
 	// input-delayed machines).
 	sub *pubsub.Subscription
@@ -124,8 +142,12 @@ type Platform struct {
 	Placement *anycast.Placement
 	Coord     *monitor.Coordinator
 	Allowlist *filters.Allowlist
-	PoPs      []*pop.PoP
-	Machines  []*PlatformMachine
+	// History and Source are set under PullPropagation: the controller's
+	// bounded version history and the pull-protocol server over it.
+	History  *zone.History
+	Source   *propagate.Source
+	PoPs     []*pop.PoP
+	Machines []*PlatformMachine
 	rng       *rand.Rand
 	clientSeq int
 	edgeSeq   int
@@ -186,6 +208,10 @@ func New(opts Options) (*Platform, error) {
 		unicast:   make(map[netip.Addr]netsim.Prefix),
 	}
 	p.Mapper = mapping.New(mapping.DefaultConfig(), p.Bus)
+	if opts.PullPropagation {
+		p.History = zone.NewHistory(8)
+		p.Source = propagate.NewSource(p.Store, p.History)
+	}
 
 	// PoPs: router stubs multi-homed into the core, speakers in AS 20940.
 	delayedHosted := map[anycast.CloudID]bool{}
@@ -230,17 +256,25 @@ func (p *Platform) addMachine(pp *pop.PoP, id string, delayed bool) {
 			cfg.TQoD = 10 * time.Minute
 		}
 	}
+	// Under PullPropagation a regular machine serves from its own store,
+	// kept current by a pull loop; everything else shares the
+	// controller's store pointer.
+	store := p.Store
+	pulls := p.Opts.PullPropagation && !delayed
+	if pulls {
+		store = zone.NewStore()
+	}
 	mf := &MachineFilters{Allowlist: p.Allowlist}
 	var pipe *filters.Pipeline
 	if p.Opts.EnableFilters {
 		mf.Rate = filters.NewRateLimit()
-		mf.NXDomain = filters.NewNXDomain(nameserver.StoreZoneInfo{Store: p.Store}, filters.PerHotZone)
+		mf.NXDomain = filters.NewNXDomain(nameserver.StoreZoneInfo{Store: store}, filters.PerHotZone)
 		mf.HopCount = filters.NewHopCount()
 		mf.Loyalty = filters.NewLoyalty()
 		pipe = filters.NewPipeline(mf.Rate, mf.Allowlist, mf.NXDomain, mf.HopCount, mf.Loyalty)
 	}
 	spec := pop.MachineSpec{ID: id, Server: cfg, Delayed: delayed, Pipeline: pipe}
-	m := pop.BuildMachine(p.Sched, spec, p.Store, p.Coord)
+	m := pop.BuildMachine(p.Sched, spec, store, p.Coord)
 	if p.Opts.EnableFilters {
 		m.Server.NX = mf.NXDomain
 		m.Server.Loyalty = mf.Loyalty
@@ -248,13 +282,34 @@ func (p *Platform) addMachine(pp *pop.PoP, id string, delayed bool) {
 	if !p.Opts.StartAgents {
 		m.Agent.Stop()
 	}
-	pm := &PlatformMachine{Machine: m, PoP: pp, Filters: mf}
+	pm := &PlatformMachine{Machine: m, PoP: pp, Filters: mf, LocalStore: store}
+	if pulls {
+		clock := propagate.SimClock{Sched: p.Sched}
+		pm.PullLink = propagate.NewLink(clock, p.Source, p.rng.Int63())
+		pm.Puller = propagate.New(propagate.Config{
+			ID: id, Clock: clock, Transport: pm.PullLink, Store: store,
+			Interval: p.Opts.PullInterval, Timeout: p.Opts.PullTimeout,
+			Seed: p.rng.Int63(),
+			// The only zone-freshness signal is a confirmed sync: a
+			// machine whose pull path is broken goes stale (and then
+			// self-suspends) even if the notify bus still reaches it.
+			OnSync: func(now simtime.Time) { m.Server.RecordInput(TopicZones, now) },
+			Obs:    m.Server.Obs(),
+		})
+		pm.Puller.Start()
+	}
 	// Metadata subscriptions: zones + mapping.
 	record := func(now simtime.Time, msg pubsub.Message) {
 		m.Server.RecordInput(msg.Topic, now)
 	}
+	zoneHandler := record
+	if pulls {
+		// Zone messages are only a nudge to poll; freshness comes from
+		// the pull loop itself.
+		zoneHandler = func(now simtime.Time, msg pubsub.Message) { pm.Puller.Poke() }
+	}
 	if delayed {
-		pm.sub = p.Bus.SubscribeInputDelayed(TopicZones, p.Opts.MetadataDelay, p.Opts.InputDelay, record)
+		pm.sub = p.Bus.SubscribeInputDelayed(TopicZones, p.Opts.MetadataDelay, p.Opts.InputDelay, zoneHandler)
 		sub2 := p.Bus.SubscribeInputDelayed(mapping.TopicMapping, p.Opts.MetadataDelay, p.Opts.InputDelay, record)
 		m.SetOnFirstUse(func(now simtime.Time) {
 			// §4.2.3: upon use, input-delayed nameservers stop receiving
@@ -263,7 +318,7 @@ func (p *Platform) addMachine(pp *pop.PoP, id string, delayed bool) {
 			sub2.Freeze()
 		})
 	} else {
-		pm.sub = p.Bus.Subscribe(TopicZones, p.Opts.MetadataDelay, record)
+		pm.sub = p.Bus.Subscribe(TopicZones, p.Opts.MetadataDelay, zoneHandler)
 		p.Bus.Subscribe(mapping.TopicMapping, p.Opts.MetadataDelay, record)
 	}
 	pp.AddMachine(m)

@@ -3,6 +3,7 @@ package ctlplane
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
 	"akamaidns/internal/dnswire"
@@ -291,9 +292,9 @@ func TestPublishAndHistory(t *testing.T) {
 		t.Fatalf("publish hook calls = %+v", pubs)
 	}
 	// IXFR history can reconstruct the increment between applied versions.
-	delta, ok := hist.DeltaFrom(origin, 1)
-	if !ok {
-		t.Fatal("history has no delta from serial 1")
+	delta, st := hist.DeltaFrom(origin, 1)
+	if st != zone.DeltaOK {
+		t.Fatalf("history has no delta from serial 1: %v", st)
 	}
 	if delta.ToSerial != 2 || len(delta.Added) != 1 {
 		t.Fatalf("delta = %+v, want 1 added record to serial 2", delta)
@@ -342,4 +343,61 @@ func TestChangelistTooLarge(t *testing.T) {
 	if p.Status != StatusRejected || !strings.Contains(p.Rejections[0].Reason, "too-large") {
 		t.Fatalf("oversized changelist not rejected: %+v", p)
 	}
+}
+
+// TestPublishOrderingUnderRace pins the contract the propagation plane
+// depends on: by the time the Publish hook fires for (origin, serial), the
+// store already serves that serial (or newer) and the IXFR history has
+// recorded it. A subscriber racing against SubmitApply — the notify→pull
+// path — must never observe the hook ahead of either commit. Run under
+// -race this also proves the hook itself is safe to call into from the
+// apply path while readers are live.
+func TestPublishOrderingUnderRace(t *testing.T) {
+	store := zone.NewStore()
+	hist := zone.NewHistory(64)
+	type note struct {
+		origin dnswire.Name
+		serial uint32
+	}
+	notes := make(chan note, 4096)
+	c := New(store, Config{
+		History: hist,
+		Publish: func(o dnswire.Name, s uint32) { notes <- note{o, s} },
+	})
+
+	var sub sync.WaitGroup
+	sub.Add(1)
+	go func() {
+		defer sub.Done()
+		for n := range notes {
+			if z := store.Get(n.origin); z == nil || z.Serial() < n.serial {
+				t.Errorf("publish(%s, %d) fired before the store commit", n.origin, n.serial)
+			}
+			if got := hist.Latest(n.origin); got < n.serial {
+				t.Errorf("publish(%s, %d) fired before the history record (latest %d)", n.origin, n.serial, got)
+			}
+		}
+	}()
+
+	var appliers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		g := g
+		appliers.Add(1)
+		go func() {
+			defer appliers.Done()
+			name := fmt.Sprintf("pub%d.test", g)
+			for s := uint32(1); s <= 50; s++ {
+				p, err := c.SubmitApply(Changelist{Zones: []ZoneChange{
+					{Origin: dnswire.MustName(name), Desired: testZone(t, name, s, fmt.Sprintf("r%d IN A 192.0.2.9", s))},
+				}})
+				if err != nil || p.Status != StatusApplied {
+					t.Errorf("apply %s serial %d: err=%v plan=%+v", name, s, err, p)
+					return
+				}
+			}
+		}()
+	}
+	appliers.Wait()
+	close(notes)
+	sub.Wait()
 }

@@ -64,7 +64,7 @@ func (s *Server) serveIXFR(conn net.Conn, q *dnswire.Message) {
 		return
 	}
 	if haveFrom && s.History != nil {
-		if d, ok := s.History.DeltaFrom(origin, fromSerial); ok && d.ToSerial == curSOA.Serial {
+		if d, st := s.History.DeltaFrom(origin, fromSerial); st == zone.DeltaOK && d.ToSerial == curSOA.Serial {
 			// Incremental format: newSOA, oldSOA, deletions, newSOA,
 			// additions, newSOA.
 			oldSOA := curSOA.Copy().(*dnswire.SOA)

@@ -110,7 +110,9 @@ type History struct {
 	Keep int
 }
 
-// NewHistory retains up to keep versions per origin.
+// NewHistory retains up to keep versions per origin. keep <= 1 —
+// including zero and negative values — is clamped to 2, the smallest
+// history that can serve a delta (a from-version and a to-version).
 func NewHistory(keep int) *History {
 	if keep < 2 {
 		keep = 2
@@ -145,26 +147,74 @@ func snapshot(z *Zone) *Zone {
 	return out
 }
 
+// DeltaStatus classifies a DeltaFrom result so callers can tell "this
+// origin has no history at all" apart from "the requested serial fell
+// out of the retained window" — both need different handling (the
+// former may be a misdirected request; the latter unambiguously means
+// the client must resync with a full transfer).
+type DeltaStatus int
+
+const (
+	// DeltaOK: the delta chains from the requested serial to the newest
+	// retained version (it may be empty when already current).
+	DeltaOK DeltaStatus = iota
+	// DeltaNoHistory: no versions are retained for the origin.
+	DeltaNoHistory
+	// DeltaResync: fromSerial is not a retained version — evicted,
+	// never recorded, or ahead of the newest retained serial. The
+	// caller cannot be served a delta and must take a full transfer.
+	DeltaResync
+)
+
+func (s DeltaStatus) String() string {
+	switch s {
+	case DeltaOK:
+		return "ok"
+	case DeltaNoHistory:
+		return "no-history"
+	case DeltaResync:
+		return "resync"
+	default:
+		return fmt.Sprintf("DeltaStatus(%d)", int(s))
+	}
+}
+
 // DeltaFrom returns the combined delta from the retained version at
-// fromSerial to the newest retained version. ok is false when fromSerial is
-// no longer retained (the server answers with a full transfer then).
-func (h *History) DeltaFrom(origin dnswire.Name, fromSerial uint32) (Delta, bool) {
+// fromSerial to the newest retained version. The status disambiguates
+// failure: DeltaNoHistory when the origin has no retained versions at
+// all, DeltaResync when versions exist but fromSerial is not among them
+// (evicted or unknown) — the server answers with a full transfer then.
+func (h *History) DeltaFrom(origin dnswire.Name, fromSerial uint32) (Delta, DeltaStatus) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	vs := h.versions[origin]
-	var from, to *Zone
+	if len(vs) == 0 {
+		return Delta{}, DeltaNoHistory
+	}
+	var from *Zone
 	for _, v := range vs {
 		if v.Serial() == fromSerial {
 			from = v
 		}
 	}
-	if len(vs) > 0 {
-		to = vs[len(vs)-1]
+	if from == nil {
+		return Delta{}, DeltaResync
 	}
-	if from == nil || to == nil {
-		return Delta{}, false
+	return Diff(from, vs[len(vs)-1]), DeltaOK
+}
+
+// Version returns the retained snapshot at exactly serial, or nil when it
+// is not retained. The returned zone is the history's own snapshot:
+// treat it as read-only (its accessors copy records, so reads are safe).
+func (h *History) Version(origin dnswire.Name, serial uint32) *Zone {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, v := range h.versions[origin] {
+		if v.Serial() == serial {
+			return v
+		}
 	}
-	return Diff(from, to), true
+	return nil
 }
 
 // Latest returns the newest retained serial for origin (0 when none).

@@ -96,20 +96,20 @@ func TestHistoryDeltas(t *testing.T) {
 	if h.Latest(n("ex.test")) != 3 {
 		t.Fatalf("latest = %d", h.Latest(n("ex.test")))
 	}
-	d, ok := h.DeltaFrom(n("ex.test"), 1)
-	if !ok || len(d.Added) != 2 || len(d.Deleted) != 0 || d.ToSerial != 3 {
-		t.Fatalf("delta 1->3 = %+v ok=%v", d, ok)
+	d, st := h.DeltaFrom(n("ex.test"), 1)
+	if st != DeltaOK || len(d.Added) != 2 || len(d.Deleted) != 0 || d.ToSerial != 3 {
+		t.Fatalf("delta 1->3 = %+v st=%v", d, st)
 	}
-	d2, ok := h.DeltaFrom(n("ex.test"), 2)
-	if !ok || len(d2.Added) != 1 {
+	d2, st := h.DeltaFrom(n("ex.test"), 2)
+	if st != DeltaOK || len(d2.Added) != 1 {
 		t.Fatalf("delta 2->3 = %+v", d2)
 	}
-	// Unknown serial: not retained.
-	if _, ok := h.DeltaFrom(n("ex.test"), 99); ok {
-		t.Fatal("unknown serial served")
+	// Unknown serial on a known origin: resync signal, not "no history".
+	if _, st := h.DeltaFrom(n("ex.test"), 99); st != DeltaResync {
+		t.Fatalf("unknown serial: st=%v, want resync", st)
 	}
-	if _, ok := h.DeltaFrom(n("other.test"), 1); ok {
-		t.Fatal("unknown origin served")
+	if _, st := h.DeltaFrom(n("other.test"), 1); st != DeltaNoHistory {
+		t.Fatalf("unknown origin: st=%v, want no-history", st)
 	}
 }
 
@@ -118,11 +118,11 @@ func TestHistoryEviction(t *testing.T) {
 	for s := uint32(1); s <= 5; s++ {
 		h.Record(zoneV(t, s, ""))
 	}
-	if _, ok := h.DeltaFrom(n("ex.test"), 1); ok {
-		t.Fatal("evicted version still served")
+	if _, st := h.DeltaFrom(n("ex.test"), 1); st != DeltaResync {
+		t.Fatalf("evicted version: st=%v, want resync", st)
 	}
-	if _, ok := h.DeltaFrom(n("ex.test"), 4); !ok {
-		t.Fatal("retained version not served")
+	if _, st := h.DeltaFrom(n("ex.test"), 4); st != DeltaOK {
+		t.Fatalf("retained version not served: st=%v", st)
 	}
 }
 
@@ -130,9 +130,9 @@ func TestHistoryRecordSameSerialReplaces(t *testing.T) {
 	h := NewHistory(4)
 	h.Record(zoneV(t, 1, ""))
 	h.Record(zoneV(t, 1, "x IN A 192.0.2.9\n"))
-	d, ok := h.DeltaFrom(n("ex.test"), 1)
-	if !ok || !d.Empty() {
-		t.Fatalf("same-serial re-record: %+v ok=%v", d, ok)
+	d, st := h.DeltaFrom(n("ex.test"), 1)
+	if st != DeltaOK || !d.Empty() {
+		t.Fatalf("same-serial re-record: %+v st=%v", d, st)
 	}
 	// The replacement (with x) is the retained snapshot.
 	h.Record(zoneV(t, 2, ""))
@@ -150,8 +150,45 @@ func TestSnapshotIsDeep(t *testing.T) {
 	z.Add(&dnswire.TXT{RRHeader: dnswire.RRHeader{Name: n("late.ex.test"), Type: dnswire.TypeTXT, Class: dnswire.ClassINET, TTL: 60}, Texts: []string{"x"}})
 	z.SetSerial(2)
 	h.Record(z)
-	d, ok := h.DeltaFrom(n("ex.test"), 1)
-	if !ok || len(d.Added) != 1 {
+	d, st := h.DeltaFrom(n("ex.test"), 1)
+	if st != DeltaOK || len(d.Added) != 1 {
 		t.Fatalf("snapshot aliased live zone: %+v", d)
+	}
+}
+
+func TestNewHistoryClampsKeep(t *testing.T) {
+	for _, keep := range []int{-5, -1, 0, 1} {
+		h := NewHistory(keep)
+		if h.Keep != 2 {
+			t.Fatalf("NewHistory(%d).Keep = %d, want 2", keep, h.Keep)
+		}
+		// A clamped history must still serve one delta step.
+		h.Record(zoneV(t, 1, ""))
+		h.Record(zoneV(t, 2, "a IN A 192.0.2.2\n"))
+		if d, st := h.DeltaFrom(n("ex.test"), 1); st != DeltaOK || len(d.Added) != 1 {
+			t.Fatalf("NewHistory(%d) delta 1->2: %+v st=%v", keep, d, st)
+		}
+	}
+	if h := NewHistory(8); h.Keep != 8 {
+		t.Fatalf("NewHistory(8).Keep = %d", h.Keep)
+	}
+}
+
+func TestDeltaFromAheadOfLatest(t *testing.T) {
+	// A client claiming a serial newer than anything retained is out of
+	// sync (e.g. the controller was rebuilt); that is a resync, not OK.
+	h := NewHistory(4)
+	h.Record(zoneV(t, 5, ""))
+	if _, st := h.DeltaFrom(n("ex.test"), 9); st != DeltaResync {
+		t.Fatalf("ahead-of-latest serial: st=%v, want resync", st)
+	}
+}
+
+func TestDeltaStatusString(t *testing.T) {
+	cases := map[DeltaStatus]string{DeltaOK: "ok", DeltaNoHistory: "no-history", DeltaResync: "resync", DeltaStatus(42): "DeltaStatus(42)"}
+	for st, want := range cases {
+		if st.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", int(st), st.String(), want)
+		}
 	}
 }

@@ -253,9 +253,11 @@ func (s *Store) Transfer(origin dnswire.Name) []dnswire.RR {
 	return append(recs, soa)
 }
 
-// ApplyTransfer installs a zone from an AXFR-style stream, validating the
-// SOA framing. It returns the installed zone.
-func (s *Store) ApplyTransfer(origin dnswire.Name, recs []dnswire.RR) (*Zone, error) {
+// FromTransfer reassembles a zone from an AXFR-style stream, validating
+// the SOA framing, without installing it anywhere — callers that must
+// verify content before serving it (the propagation plane) Put it
+// themselves once satisfied.
+func FromTransfer(origin dnswire.Name, recs []dnswire.RR) (*Zone, error) {
 	if len(recs) < 2 {
 		return nil, errBadTransfer
 	}
@@ -269,6 +271,16 @@ func (s *Store) ApplyTransfer(origin dnswire.Name, recs []dnswire.RR) (*Zone, er
 		if err := z.Add(rr); err != nil {
 			return nil, err
 		}
+	}
+	return z, nil
+}
+
+// ApplyTransfer installs a zone from an AXFR-style stream, validating the
+// SOA framing. It returns the installed zone.
+func (s *Store) ApplyTransfer(origin dnswire.Name, recs []dnswire.RR) (*Zone, error) {
+	z, err := FromTransfer(origin, recs)
+	if err != nil {
+		return nil, err
 	}
 	s.Put(z)
 	return z, nil
