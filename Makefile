@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race vet bench bench-compile bench-smoke bench-json bench-alloc-guard bench-saturate bench-saturate-smoke experiments fuzz chaos chaos-soak churn churn-smoke propagate-smoke examples clean
+.PHONY: all build test race vet bench bench-compile bench-smoke bench-json bench-alloc-guard bench-saturate bench-saturate-smoke experiments fuzz chaos chaos-soak churn churn-smoke churn-smoke-sharded propagate-smoke examples clean
 
 all: build test
 
@@ -25,7 +25,7 @@ race:
 	go test -race -run='TestBatchParity|TestBatchDrainWakes|TestUDPGroupSamePort' -count=2 ./internal/netserve/
 	go test -race -count=2 ./internal/udpbatch/
 	go test -race -run='TestCoordinatorRaceStress|TestCoordinatorQuorumUnionOverGrant' -count=2 ./internal/monitor/
-	go test -race -run='TestChurnWhileServing|TestPublishOrderingUnderRace' ./internal/ctlplane/
+	go test -race -run='TestChurnWhileServing|TestChurnPipelinedWhileServing|TestPublishOrderingUnderRace' ./internal/ctlplane/
 	go test -race -run='TestPullLoopRace' -count=2 ./internal/propagate/
 
 vet:
@@ -50,14 +50,14 @@ bench-smoke:
 # guard fails the run if any hot handle path (cached hit, EDNS hit,
 # view-path NXDOMAIN miss, delegation miss) starts allocating.
 bench-json:
-	go test -run='^$$' -bench='BenchmarkNetServeUDP|BenchmarkHandleUDP|BenchmarkStoreFind' -benchmem -benchtime=2s . ./internal/netserve/ ./internal/zone/ | go run ./cmd/benchjson -assert-zero-alloc='^HandleUDP$$|^HandleUDPEDNS$$|^HandleUDPMissNXDOMAIN$$|^HandleUDPDelegation$$|^HandleUDPBatch32$$|^HandleUDPChurnHit$$|^HandleUDPChurnMiss$$' > BENCH_netserve.json.tmp
+	go test -run='^$$' -bench='BenchmarkNetServeUDP|BenchmarkHandleUDP|BenchmarkStoreFind|BenchmarkRouterRebuild|BenchmarkCtlApply' -benchmem -benchtime=2s . ./internal/netserve/ ./internal/zone/ ./internal/ctlplane/ | go run ./cmd/benchjson -assert-zero-alloc='^HandleUDP$$|^HandleUDPEDNS$$|^HandleUDPMissNXDOMAIN$$|^HandleUDPDelegation$$|^HandleUDPBatch32$$|^HandleUDPChurnHit$$|^HandleUDPChurnMiss$$|^StoreFindWire$$' > BENCH_netserve.json.tmp
 	mv BENCH_netserve.json.tmp BENCH_netserve.json
 	@cat BENCH_netserve.json
 
 # CI-shaped allocation regression smoke: short benchtime, no file rewrite,
 # same zero-alloc guard as bench-json.
 bench-alloc-guard:
-	go test -run='^$$' -bench='BenchmarkHandleUDP' -benchmem -benchtime=0.2s ./internal/netserve/ | go run ./cmd/benchjson -keep-baseline='' -assert-zero-alloc='^HandleUDP$$|^HandleUDPEDNS$$|^HandleUDPMissNXDOMAIN$$|^HandleUDPDelegation$$|^HandleUDPBatch32$$|^HandleUDPChurnHit$$|^HandleUDPChurnMiss$$' > /dev/null
+	go test -run='^$$' -bench='BenchmarkHandleUDP|BenchmarkStoreFindWire' -benchmem -benchtime=0.2s ./internal/netserve/ ./internal/zone/ | go run ./cmd/benchjson -keep-baseline='' -assert-zero-alloc='^HandleUDP$$|^HandleUDPEDNS$$|^HandleUDPMissNXDOMAIN$$|^HandleUDPDelegation$$|^HandleUDPBatch32$$|^HandleUDPChurnHit$$|^HandleUDPChurnMiss$$|^StoreFindWire$$' > /dev/null
 
 # Loopback saturation compare (dnsblast): server batching off vs on, then
 # the same flood against both, committed as the "saturation" key of
@@ -116,6 +116,13 @@ churn:
 # CI-shaped smoke: ~20k changes with a fixed seed, same assertions.
 churn-smoke:
 	go run ./cmd/churn -zones 256 -batch 128 -changes 20000 -workers 2 -seed 7 -pace 1ms -assert
+
+# Sharded-router smoke at an elevated zone count through the pipelined
+# control plane: four posters over disjoint ranges exercise the
+# revalidation fast path while the shard-clone invariant (≤2 per changed
+# zone) proves applies stay O(Δ) rather than O(zones).
+churn-smoke-sharded:
+	go run ./cmd/churn -zones 8192 -batch 256 -changes 20000 -workers 2 -seed 7 -pipeline -posters 4 -lag-bound 2s -assert
 
 # Propagation-plane smoke: the pull fleet against a lossy, corrupting,
 # duplicating link plus the propagation-storm chaos battery (seeds 1-8 with

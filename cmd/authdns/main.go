@@ -149,6 +149,11 @@ func main() {
 			Registry: srv.Reg,
 			History:  srv.History,
 		})
+		// Pipelined apply path: POST /ctl/changelist?mode=pipeline overlaps
+		// validation of changelist N+1 with the commit of N. The stage
+		// goroutines live for the process; the serial mode keeps working.
+		pl := ctlplane.NewPipeline(ctl, ctlplane.PipelineConfig{})
+		defer pl.Close()
 	}
 	if len(secs) > 0 {
 		srv.OnNotify = func(origin dnswire.Name) {

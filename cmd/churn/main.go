@@ -85,6 +85,9 @@ type report struct {
 	ControlChecks   uint64              `json:"control_checks"`
 	ControlMismatch uint64              `json:"control_mismatches"`
 	RouterRebuilds  uint64              `json:"router_rebuilds"`
+	ShardRebuilds   uint64              `json:"router_shard_rebuilds"`
+	Pipelined       bool                `json:"pipelined,omitempty"`
+	Posters         int                 `json:"posters,omitempty"`
 	LagP50Ms        float64             `json:"lag_p50_ms"`
 	LagP90Ms        float64             `json:"lag_p90_ms"`
 	LagP99Ms        float64             `json:"lag_p99_ms"`
@@ -111,6 +114,8 @@ func main() {
 	assert := flag.Bool("assert", false, "exit non-zero when an invariant is violated")
 	lagBound := flag.Duration("lag-bound", 250*time.Millisecond, "propagation-lag p99 assertion bound")
 	pace := flag.Duration("pace", 0, "sleep between changelist POSTs (give query workers CPU on small machines)")
+	pipelined := flag.Bool("pipeline", false, "submit changelists through the pipelined control plane (POST ?mode=pipeline)")
+	posters := flag.Int("posters", 1, "concurrent changelist posters over disjoint zone ranges (pipeline overlap shows past 1)")
 	pf := pullFlags{}
 	flag.IntVar(&pf.n, "pull", 0, "pull-propagation edge machines, each with its own store, pull loop, and UDP server (0 = off)")
 	flag.DurationVar(&pf.interval, "pull-interval", 200*time.Millisecond, "pull poll interval")
@@ -123,8 +128,14 @@ func main() {
 	flag.DurationVar(&pf.jitter, "pull-delay-jitter", 0, "pull link delay jitter")
 	flag.Parse()
 
-	if *batch > *zones {
-		*batch = *zones
+	if *posters < 1 {
+		*posters = 1
+	}
+	if *posters > *zones {
+		*posters = *zones
+	}
+	if *batch > *zones / *posters {
+		*batch = *zones / *posters
 	}
 
 	// Server: real UDP sockets on loopback, control plane on the debug
@@ -152,6 +163,13 @@ func main() {
 		ctlCfg.Publish = func(dnswire.Name, uint32) { fleet.poke() }
 	}
 	ctl := ctlplane.New(store, ctlCfg)
+	if *pipelined {
+		// Attach the validate/commit pipeline so ?mode=pipeline POSTs
+		// overlap changelist N+1's validation with N's commit. Depth scales
+		// with the poster count so backpressure kicks in, not buffering.
+		pl := ctlplane.NewPipeline(ctl, ctlplane.PipelineConfig{Depth: 2 * *posters})
+		defer pl.Close()
+	}
 	if err := srv.Start(); err != nil {
 		fatal("start server: %v", err)
 	}
@@ -164,19 +182,36 @@ func main() {
 	}
 	defer ms.Close()
 	udpAddr := srv.UDPAddrActual()
-	ctlURL := "http://" + ms.Addr() + "/ctl/changelist"
+	ctlBase := "http://" + ms.Addr() + "/ctl/changelist"
+	ctlURL := ctlBase
+	if *pipelined {
+		ctlURL += "?mode=pipeline"
+	}
 	fmt.Printf("churn: udp %s, control %s\n", udpAddr, ctlURL)
 
 	// Seed: the control zone plus every churn zone at serial 1, installed
-	// through the control plane in one changelist (one router rebuild).
+	// through the control plane in chunked changelists — one POST does not
+	// scale to -zones in the millions (the API caps zones per changelist
+	// and body bytes), and each chunk is still a single router rebuild.
+	const seedChunk = 4096
 	seedDoc := changelistDoc{Zones: []zoneEntry{{Origin: controlOrigin, Zone: controlText}}}
+	flushSeed := func() {
+		if st := postChangelist(ctlBase, seedDoc); st != "applied" {
+			fatal("seed changelist status %q", st)
+		}
+		seedDoc.Zones = seedDoc.Zones[:0]
+	}
 	for i := 0; i < *zones; i++ {
 		seedDoc.Zones = append(seedDoc.Zones, zoneEntry{Origin: zoneOrigin(i), Zone: zoneText(1)})
+		if len(seedDoc.Zones) == seedChunk {
+			flushSeed()
+		}
 	}
-	if st := postChangelist(ctlURL, seedDoc); st != "applied" {
-		fatal("seed changelist status %q", st)
+	if len(seedDoc.Zones) > 0 {
+		flushSeed()
 	}
 	rebuildsAfterSeed := store.RouterRebuilds()
+	shardsAfterSeed := store.ShardRebuilds()
 
 	// Baseline: the control zone's answer bytes with a fixed query, the
 	// byte-identity oracle for untouched zones.
@@ -232,72 +267,99 @@ func main() {
 		}(w)
 	}
 
-	// Churn driver: rotate a batch window across the zone set, bumping each
-	// batch to the next serial via real HTTP POSTs, sampling propagation
-	// lag (POST issued → new serial-coded address visible over UDP).
-	probeConn, err := net.Dial("udp", udpAddr)
-	if err != nil {
-		fatal("probe dial: %v", err)
-	}
-	defer probeConn.Close()
-	probeBuf := make([]byte, 4096)
-
+	// Churn drivers: each poster owns a disjoint zone range and rotates a
+	// batch window across it, bumping each batch to the next serial via real
+	// HTTP POSTs and sampling propagation lag (POST issued → new
+	// serial-coded address visible over UDP). With -pipeline, concurrent
+	// posters are what give the validate stage work to overlap with commits.
 	var (
+		mu      sync.Mutex
 		lags    []time.Duration
 		applied int
 		batches int
 	)
 	start := time.Now()
-	serialOf := make([]uint32, *zones)
+	serialOf := make([]uint32, *zones) // disjoint per-poster ranges: no sharing
 	for i := range serialOf {
 		serialOf[i] = 1
 	}
-	next := 0
 	deadline := time.Time{}
 	if *duration > 0 {
 		deadline = start.Add(*duration)
 	}
-	for applied < *changes {
-		if !deadline.IsZero() && time.Now().After(deadline) {
-			break
+	per := *zones / *posters
+	perChanges := *changes / *posters
+	var pwg sync.WaitGroup
+	for p := 0; p < *posters; p++ {
+		lo, hi, quota := p*per, (p+1)*per, perChanges
+		if p == *posters-1 {
+			hi = *zones
+			quota = *changes - perChanges*(*posters-1)
 		}
-		n := *batch
-		if rem := *changes - applied; rem < n {
-			n = rem
-		}
-		doc := changelistDoc{}
-		probeZone := -1
-		var probeSerial uint32
-		for k := 0; k < n; k++ {
-			i := (next + k) % *zones
-			serialOf[i]++
-			doc.Zones = append(doc.Zones, zoneEntry{Origin: zoneOrigin(i), Zone: zoneText(serialOf[i])})
-			if k == 0 {
-				probeZone, probeSerial = i, serialOf[i]
+		pwg.Add(1)
+		go func(p, lo, hi, quota int) {
+			defer pwg.Done()
+			probeConn, err := net.Dial("udp", udpAddr)
+			if err != nil {
+				fatal("probe dial: %v", err)
 			}
-		}
-		next = (next + n) % *zones
-		t0 := time.Now()
-		if st := postChangelist(ctlURL, doc); st != "applied" {
-			fatal("batch %d status %q", batches, st)
-		}
-		applied += n
-		batches++
-		// Propagation probe: poll until the batch's first zone serves its
-		// new serial-coded address.
-		lag, ok := awaitSerial(probeConn, probeBuf, zoneOrigin(probeZone), probeSerial, t0, 2*time.Second)
-		if ok {
-			lags = append(lags, lag)
-		}
-		// Pull-plane probe: the same batch must surface on every edge
-		// machine's own socket; samples feed the per-machine distribution.
-		if fleet != nil {
-			fleet.sample(zoneOrigin(probeZone), probeSerial, t0)
-		}
-		if *pace > 0 {
-			time.Sleep(*pace)
-		}
+			defer probeConn.Close()
+			probeBuf := make([]byte, 4096)
+			var myLags []time.Duration
+			myApplied, myBatches, next := 0, 0, lo
+			for myApplied < quota {
+				if !deadline.IsZero() && time.Now().After(deadline) {
+					break
+				}
+				n := *batch
+				if rem := quota - myApplied; rem < n {
+					n = rem
+				}
+				if span := hi - lo; n > span {
+					n = span
+				}
+				doc := changelistDoc{}
+				probeZone := -1
+				var probeSerial uint32
+				for k := 0; k < n; k++ {
+					i := lo + (next-lo+k)%(hi-lo)
+					serialOf[i]++
+					doc.Zones = append(doc.Zones, zoneEntry{Origin: zoneOrigin(i), Zone: zoneText(serialOf[i])})
+					if k == 0 {
+						probeZone, probeSerial = i, serialOf[i]
+					}
+				}
+				next = lo + (next-lo+n)%(hi-lo)
+				t0 := time.Now()
+				if st := postChangelist(ctlURL, doc); st != "applied" {
+					fatal("poster %d batch %d status %q", p, myBatches, st)
+				}
+				myApplied += n
+				myBatches++
+				// Propagation probe: poll until the batch's first zone serves
+				// its new serial-coded address.
+				lag, ok := awaitSerial(probeConn, probeBuf, zoneOrigin(probeZone), probeSerial, t0, 2*time.Second)
+				if ok {
+					myLags = append(myLags, lag)
+				}
+				// Pull-plane probe: the same batch must surface on every edge
+				// machine's own socket; poster 0 feeds the per-machine
+				// distribution.
+				if fleet != nil && p == 0 {
+					fleet.sample(zoneOrigin(probeZone), probeSerial, t0)
+				}
+				if *pace > 0 {
+					time.Sleep(*pace)
+				}
+			}
+			mu.Lock()
+			applied += myApplied
+			batches += myBatches
+			lags = append(lags, myLags...)
+			mu.Unlock()
+		}(p, lo, hi, quota)
 	}
+	pwg.Wait()
 	elapsed := time.Since(start)
 	stop.Store(true)
 	wg.Wait()
@@ -313,6 +375,7 @@ func main() {
 	}
 
 	rebuilds := store.RouterRebuilds() - rebuildsAfterSeed
+	shardClones := store.ShardRebuilds() - shardsAfterSeed
 	rep := report{
 		Zones:           *zones,
 		ChangesTarget:   *changes,
@@ -326,6 +389,9 @@ func main() {
 		ControlChecks:   controlChecks.Load(),
 		ControlMismatch: controlMismatch.Load(),
 		RouterRebuilds:  rebuilds,
+		ShardRebuilds:   shardClones,
+		Pipelined:       *pipelined,
+		Posters:         *posters,
 		LagSamples:      len(lags),
 		Violations:      []string{},
 	}
@@ -348,6 +414,13 @@ func main() {
 	if rebuilds > uint64(batches) {
 		rep.Violations = append(rep.Violations, fmt.Sprintf(
 			"rebuild storm: %d router rebuilds for %d apply batches (>1 per batch)", rebuilds, batches))
+	}
+	// O(Δ) rebuilds: a changed zone dirties at most its text and wire
+	// shards, so shard clones are bounded by twice the applied changes —
+	// anything past that means republishes are no longer incremental.
+	if shardClones > 2*uint64(applied) {
+		rep.Violations = append(rep.Violations, fmt.Sprintf(
+			"non-incremental rebuilds: %d shard clones for %d applied changes (>2 per change)", shardClones, applied))
 	}
 	if *duration == 0 && applied < *changes {
 		rep.Violations = append(rep.Violations, fmt.Sprintf(
@@ -372,10 +445,14 @@ func main() {
 		rep.PullLagP50Ms, rep.PullLagP90Ms, rep.PullLagP99Ms, rep.PullLagMaxMs = lagPercentiles(all)
 	}
 
-	fmt.Printf("churn: %d changes in %d batches over %.1fs; %d answered (%.0f qps), %d timeouts\n",
-		applied, batches, rep.ElapsedSec, rep.Answered, rep.AnsweredQPS, rep.Timeouts)
-	fmt.Printf("churn: control checks %d (mismatch %d), rebuilds %d/%d batches, lag p50/p90/p99 = %.1f/%.1f/%.1f ms\n",
-		rep.ControlChecks, rep.ControlMismatch, rebuilds, batches, rep.LagP50Ms, rep.LagP90Ms, rep.LagP99Ms)
+	mode := "serial"
+	if *pipelined {
+		mode = fmt.Sprintf("pipelined x%d posters", *posters)
+	}
+	fmt.Printf("churn: %d changes in %d batches over %.1fs (%s); %d answered (%.0f qps), %d timeouts\n",
+		applied, batches, rep.ElapsedSec, mode, rep.Answered, rep.AnsweredQPS, rep.Timeouts)
+	fmt.Printf("churn: control checks %d (mismatch %d), rebuilds %d/%d batches (%d shard clones), lag p50/p90/p99 = %.1f/%.1f/%.1f ms\n",
+		rep.ControlChecks, rep.ControlMismatch, rebuilds, batches, shardClones, rep.LagP50Ms, rep.LagP90Ms, rep.LagP99Ms)
 	if fleet != nil {
 		fmt.Printf("churn: pull fleet %d machines (drop=%.2f corrupt=%.2f dup=%.2f), lag p50/p90/p99/max = %.1f/%.1f/%.1f/%.1f ms over %d samples\n",
 			rep.PullMachines, pf.drop, pf.corrupt, pf.dup,
@@ -405,7 +482,10 @@ func fatal(format string, args ...any) {
 	os.Exit(1)
 }
 
-var httpClient = &http.Client{Timeout: 30 * time.Second}
+// The timeout must absorb a worst-case bulk-seed chunk: at 10⁶ hosted
+// zones a 4096-zone changelist dirties every router shard, and that
+// full-clone republish plus GC runs multi-second on one core.
+var httpClient = &http.Client{Timeout: 5 * time.Minute}
 
 // postChangelist submits one changelist document and returns the plan
 // status string.
@@ -480,7 +560,10 @@ func queryOnce(addr string, q []byte, timeout time.Duration) ([]byte, error) {
 // applied serial answers, returning the lag since t0.
 func awaitSerial(conn net.Conn, buf []byte, origin string, serial uint32, t0 time.Time, patience time.Duration) (time.Duration, bool) {
 	want := [4]byte{10, 0, byte(serial >> 8), byte(serial)}
-	deadlineAt := t0.Add(patience)
+	// Patience runs from now, not t0: the POST itself (commit included)
+	// may already have consumed multiples of it at large store sizes, and
+	// the lag sample — which does run from t0 — must still be taken.
+	deadlineAt := time.Now().Add(patience)
 	id := uint16(serial&0x7fff) | 0x8000
 	q := packQuery(id, "www."+origin)
 	for time.Now().Before(deadlineAt) {

@@ -25,6 +25,7 @@ package ctlplane
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"akamaidns/internal/dnswire"
@@ -83,8 +84,16 @@ type ZonePlan struct {
 	// matches FromSerial (someone else changed the zone since planning);
 	// the zone is skipped, not clobbered.
 	Conflict bool
+	// Revalidated is set when the pipelined apply path re-pinned this zone
+	// against a serving serial that moved after planning (see applyPlan).
+	Revalidated bool
 	// desired is the fully validated new zone content (nil for deletes).
 	desired *zone.Zone
+	// inheritSOA records that the SOA was carried forward from serving
+	// state (records-only submission): the zone is eligible for the
+	// revalidation-on-conflict fast path, because its serial is
+	// platform-assigned rather than caller-pinned.
+	inheritSOA bool
 }
 
 // Rejection is one validation failure. Any rejection gates the whole
@@ -125,7 +134,13 @@ type Plan struct {
 	RRsets int
 	// Conflicts counts zones skipped at apply time.
 	Conflicts int
-	AppliedAt time.Time
+	// Revalidated counts zones re-pinned by the pipelined apply path.
+	Revalidated int
+	AppliedAt   time.Time
+	// gen is the store generation the plan was computed against. A commit
+	// that observes the same generation knows no zone moved since planning
+	// and can skip per-zone revalidation entirely.
+	gen uint64
 }
 
 // Empty reports whether the plan carries no zone changes — the fixed point
@@ -160,6 +175,9 @@ type Controller struct {
 	store *zone.Store
 	cfg   Config
 	reg   *obs.Registry
+	// pipeline, when a Pipeline has been built over this controller, routes
+	// HTTP mode=pipeline submissions through the staged path.
+	pipeline atomic.Pointer[Pipeline]
 
 	mu     sync.Mutex
 	nextID uint64
@@ -248,7 +266,7 @@ func (c *Controller) rejectCounter(reason string) *obs.Counter {
 // rejections has Status == StatusRejected and cannot be applied; nothing
 // was installed.
 func (c *Controller) Plan(cl Changelist) *Plan {
-	p := &Plan{Created: time.Now(), Status: StatusPlanned}
+	p := &Plan{Created: time.Now(), Status: StatusPlanned, gen: c.store.Gen()}
 	if len(cl.Zones) > c.cfg.MaxZones {
 		p.Rejections = append(p.Rejections, Rejection{
 			Reason: "changelist-too-large",
@@ -348,6 +366,7 @@ func (c *Controller) planZone(p *Plan, zc *ZoneChange) {
 	// versioning.
 	delta := zone.Diff(cur, desired)
 	curSerial := cur.Serial()
+	inheritSOA := false
 	switch soa := desired.SOA(); {
 	case soa == nil:
 		if delta.Empty() {
@@ -368,6 +387,7 @@ func (c *Controller) planZone(p *Plan, zc *ZoneChange) {
 				Reason: "no-soa", Detail: err.Error()})
 			return
 		}
+		inheritSOA = true
 	case soa.Serial == curSerial && delta.Empty():
 		p.NoOps++ // byte-for-byte the serving state
 		return
@@ -390,6 +410,7 @@ func (c *Controller) planZone(p *Plan, zc *ZoneChange) {
 		ToSerial:   desired.Serial(),
 		Changes:    rrsetChanges(delta),
 		desired:    desired,
+		inheritSOA: inheritSOA,
 	}
 	p.Zones = append(p.Zones, zp)
 	p.RRsets += len(zp.Changes)
@@ -452,16 +473,42 @@ func sortRRsetChanges(out []RRsetChange) {
 	}
 }
 
-// Apply installs a planned changelist: one store batch (one router rebuild,
-// one generation bump) swapping each zone wholesale, then IXFR history and
-// pubsub propagation for every applied zone. Zones whose serving serial
-// moved since planning are marked Conflict and skipped. A plan applies at
-// most once.
+// Apply installs a planned changelist: one store batch (one dirty-shard
+// router republish, one generation bump) swapping each zone wholesale, then
+// IXFR history and pubsub propagation for every applied zone. Zones whose
+// serving serial moved since planning are marked Conflict and skipped. A
+// plan applies at most once.
 func (c *Controller) Apply(p *Plan) error {
+	_, err := c.applyPlan(p, false)
+	return err
+}
+
+// revalUpdate carries a re-pinned zone plan's recomputed fields out of the
+// store batch; they are written back to the ZonePlan under c.mu so the
+// writes never race renderPlan.
+type revalUpdate struct {
+	zp         *ZonePlan
+	fromSerial uint32
+	toSerial   uint32
+	changes    []RRsetChange
+}
+
+// applyPlan is Apply with an optional revalidation-on-conflict fast path,
+// used by the pipelined commit stage: when a later changelist's plan was
+// computed while an earlier one was still committing, zones whose serving
+// serial moved are re-pinned inside the same store batch instead of being
+// skipped as conflicts. Only updates are eligible — a records-only
+// submission (inheritSOA) re-inherits the new serving serial +1, and an
+// explicitly versioned update goes through as long as its serial still
+// advances past the one now serving. Content validation is not repeated:
+// validateZone checks serial-independent zone content that cannot have
+// changed since the plan-time gate. Creates-that-now-exist and moved
+// deletes keep strict optimistic-concurrency semantics and conflict.
+func (c *Controller) applyPlan(p *Plan, revalidate bool) (int, error) {
 	c.mu.Lock()
 	if p.Status != StatusPlanned {
 		c.mu.Unlock()
-		return fmt.Errorf("ctlplane: plan %d is %s, not appliable", p.ID, p.Status)
+		return 0, fmt.Errorf("ctlplane: plan %d is %s, not appliable", p.ID, p.Status)
 	}
 	// Claim the plan before releasing the lock so concurrent Apply calls
 	// cannot double-install it.
@@ -469,8 +516,15 @@ func (c *Controller) Apply(p *Plan) error {
 	c.mu.Unlock()
 
 	start := time.Now()
-	var applied, conflicted []*ZonePlan
+	var (
+		applied, conflicted []*ZonePlan
+		revals              []revalUpdate
+		revalNoops          []*revalUpdate
+	)
 	c.store.Update(func(tx *zone.Tx) {
+		// Generation fast path: if nothing changed the store since this
+		// plan was computed, every per-zone serial pin still holds.
+		revalidate = revalidate && c.store.Gen() != p.gen
 		for _, zp := range p.Zones {
 			cur := tx.Get(zp.Origin)
 			var curSerial uint32
@@ -491,15 +545,66 @@ func (c *Controller) Apply(p *Plan) error {
 				}
 				tx.Put(zp.desired)
 			case OpUpdate:
-				if cur == nil || curSerial != zp.FromSerial {
+				if cur == nil {
 					conflicted = append(conflicted, zp)
 					continue
+				}
+				if curSerial != zp.FromSerial {
+					if !revalidate {
+						conflicted = append(conflicted, zp)
+						continue
+					}
+					switch {
+					case zp.inheritSOA:
+						// Re-inherit: the platform owns this zone's serial,
+						// so version the same content against the serial
+						// now serving.
+						zp.desired.SetSerial(curSerial + 1)
+						delta := zone.Diff(cur, zp.desired)
+						if delta.Empty() {
+							// The earlier commit already installed this
+							// content; reconciliation is a no-op.
+							revalNoops = append(revalNoops, &revalUpdate{zp, curSerial, curSerial, nil})
+							continue
+						}
+						revals = append(revals, revalUpdate{zp, curSerial, curSerial + 1, rrsetChanges(delta)})
+					case zp.ToSerial > curSerial:
+						delta := zone.Diff(cur, zp.desired)
+						revals = append(revals, revalUpdate{zp, curSerial, zp.ToSerial, rrsetChanges(delta)})
+					default:
+						// An explicitly pinned serial that no longer
+						// advances: applying would strand secondaries.
+						conflicted = append(conflicted, zp)
+						continue
+					}
 				}
 				tx.Put(zp.desired)
 			}
 			applied = append(applied, zp)
 		}
 	})
+
+	// Write re-pinned plan fields back under c.mu before History/Publish
+	// reads them: renderPlan snapshots concurrently under the same lock.
+	if len(revals) > 0 || len(revalNoops) > 0 {
+		c.mu.Lock()
+		for _, r := range revals {
+			r.zp.FromSerial = r.fromSerial
+			r.zp.ToSerial = r.toSerial
+			r.zp.Changes = r.changes
+			r.zp.Revalidated = true
+		}
+		for _, r := range revalNoops {
+			r.zp.FromSerial = r.fromSerial
+			r.zp.ToSerial = r.toSerial
+			r.zp.Changes = nil
+			r.zp.Revalidated = true
+			p.NoOps++
+		}
+		p.Revalidated = len(revals) + len(revalNoops)
+		c.mu.Unlock()
+		c.noopsTotal.Add(uint64(len(revalNoops)))
+	}
 
 	for _, zp := range applied {
 		c.zoneChanges[zp.Op].Inc()
@@ -535,7 +640,7 @@ func (c *Controller) Apply(p *Plan) error {
 		c.applyBatch.Observe(float64(len(applied)))
 	}
 	c.applySeconds.Observe(time.Since(start).Seconds())
-	return nil
+	return len(revals) + len(revalNoops), nil
 }
 
 // SubmitApply is the one-shot path: plan, and apply immediately when the
@@ -594,6 +699,9 @@ type Status struct {
 	ZonesServing  int
 	StoreGen      uint64
 	RouterRebuild uint64
+	// ShardRebuilds counts router shard maps cloned across all republishes;
+	// ShardRebuilds/RouterRebuild is the mean dirty-shard width per apply.
+	ShardRebuilds uint64
 	PlansRetained int
 	// ApplyP50 and ApplyP99 are plan-to-applied latency quantiles.
 	ApplyP50 time.Duration
@@ -615,6 +723,7 @@ func (c *Controller) StatusNow() Status {
 		ZonesServing:  c.store.Len(),
 		StoreGen:      c.store.Gen(),
 		RouterRebuild: c.store.RouterRebuilds(),
+		ShardRebuilds: c.store.ShardRebuilds(),
 		PlansRetained: retained,
 	}
 	if q := c.applySeconds.Quantile(0.5); q == q { // NaN-safe

@@ -47,6 +47,8 @@ type planDoc struct {
 	NoOps      int            `json:"noops"`
 	RRsets     int            `json:"rrset_changes"`
 	Conflicts  int            `json:"conflicts,omitempty"`
+	// Revalidated counts zones re-pinned by the pipelined commit stage.
+	Revalidated int `json:"revalidated,omitempty"`
 }
 
 type zonePlanDoc struct {
@@ -56,8 +58,9 @@ type zonePlanDoc struct {
 	ToSerial   uint32           `json:"to_serial,omitempty"`
 	Changes    []rrsetChangeDoc `json:"changes"`
 	// Truncated is set when Changes was capped at maxRenderedChanges.
-	Truncated int  `json:"truncated_changes,omitempty"`
-	Conflict  bool `json:"conflict,omitempty"`
+	Truncated   int  `json:"truncated_changes,omitempty"`
+	Conflict    bool `json:"conflict,omitempty"`
+	Revalidated bool `json:"revalidated,omitempty"`
 }
 
 type rrsetChangeDoc struct {
@@ -95,15 +98,17 @@ func renderPlanLocked(p *Plan) planDoc {
 		t := p.AppliedAt
 		doc.AppliedAt = &t
 		doc.Conflicts = p.Conflicts
+		doc.Revalidated = p.Revalidated
 	}
 	for _, zp := range p.Zones {
 		zd := zonePlanDoc{
-			Origin:     zp.Origin.String(),
-			Op:         zp.Op,
-			FromSerial: zp.FromSerial,
-			ToSerial:   zp.ToSerial,
-			Conflict:   zp.Conflict,
-			Changes:    []rrsetChangeDoc{},
+			Origin:      zp.Origin.String(),
+			Op:          zp.Op,
+			FromSerial:  zp.FromSerial,
+			ToSerial:    zp.ToSerial,
+			Conflict:    zp.Conflict,
+			Revalidated: zp.Revalidated,
+			Changes:     []rrsetChangeDoc{},
 		}
 		for i, ch := range zp.Changes {
 			if i == maxRenderedChanges {
@@ -217,8 +222,19 @@ func (c *Controller) handleChangelist(w http.ResponseWriter, r *http.Request) {
 		p, _ = c.SubmitApply(cl)
 	case "plan":
 		p = c.Plan(cl)
+	case "pipeline":
+		pl := c.pipeline.Load()
+		if pl == nil {
+			ctlError(w, http.StatusConflict, "no pipeline attached to this controller")
+			return
+		}
+		var err error
+		if p, err = pl.SubmitWait(cl); err != nil {
+			ctlError(w, http.StatusConflict, "%v", err)
+			return
+		}
 	default:
-		ctlError(w, http.StatusBadRequest, "mode must be plan or apply, got %q", mode)
+		ctlError(w, http.StatusBadRequest, "mode must be plan, apply, or pipeline, got %q", mode)
 		return
 	}
 	code := http.StatusOK
@@ -271,20 +287,32 @@ func (c *Controller) handlePlan(w http.ResponseWriter, r *http.Request) {
 
 func (c *Controller) handleStatus(w http.ResponseWriter, r *http.Request) {
 	st := c.StatusNow()
-	writeCtlJSON(w, http.StatusOK, map[string]any{
+	doc := map[string]any{
 		"plans": map[string]uint64{
 			"planned":  st.PlansPlanned,
 			"applied":  st.PlansApplied,
 			"partial":  st.PlansPartial,
 			"rejected": st.PlansRejected,
 		},
-		"conflicts":       st.Conflicts,
-		"noops":           st.NoOps,
-		"zones_serving":   st.ZonesServing,
-		"store_gen":       st.StoreGen,
-		"router_rebuilds": st.RouterRebuild,
-		"plans_retained":  st.PlansRetained,
-		"apply_p50":       st.ApplyP50.String(),
-		"apply_p99":       st.ApplyP99.String(),
-	})
+		"conflicts":             st.Conflicts,
+		"noops":                 st.NoOps,
+		"zones_serving":         st.ZonesServing,
+		"store_gen":             st.StoreGen,
+		"router_rebuilds":       st.RouterRebuild,
+		"router_shard_rebuilds": st.ShardRebuilds,
+		"plans_retained":        st.PlansRetained,
+		"apply_p50":             st.ApplyP50.String(),
+		"apply_p99":             st.ApplyP99.String(),
+	}
+	if pl := c.pipeline.Load(); pl != nil {
+		doc["pipeline"] = map[string]any{
+			"depth":         pl.Depth(),
+			"revalidations": pl.Revalidations(),
+			"validate_p50":  pl.StageQuantile("validate", 0.5).String(),
+			"validate_p99":  pl.StageQuantile("validate", 0.99).String(),
+			"commit_p50":    pl.StageQuantile("commit", 0.5).String(),
+			"commit_p99":    pl.StageQuantile("commit", 0.99).String(),
+		}
+	}
+	writeCtlJSON(w, http.StatusOK, doc)
 }

@@ -113,11 +113,20 @@ type viewsZoneJSON struct {
 
 // viewsDebugJSON is the /debug/views document.
 type viewsDebugJSON struct {
-	StoreGen       uint64          `json:"store_gen"`
-	ViewRebuilds   uint64          `json:"view_rebuilds_total"`
-	RouterRebuilds uint64          `json:"router_rebuilds_total"`
-	ViewServed     uint64          `json:"view_served_total"`
-	Zones          []viewsZoneJSON `json:"zones"`
+	StoreGen       uint64 `json:"store_gen"`
+	ViewRebuilds   uint64 `json:"view_rebuilds_total"`
+	RouterRebuilds uint64 `json:"router_rebuilds_total"`
+	// RouterShardRebuilds counts shard maps cloned across republishes;
+	// divided by RouterRebuilds it is the mean dirty-shard width per apply
+	// (2 ≈ single-zone batches, RouterShards×2 ≈ full rebuilds).
+	RouterShardRebuilds uint64 `json:"router_shard_rebuilds_total"`
+	RouterShards        int    `json:"router_shards"`
+	// SerialSum is the order-independent (origin, serial) content hash off
+	// the generation-keyed snapshot — compare across machines to spot
+	// divergence without diffing zone lists.
+	SerialSum  uint64          `json:"serial_sum"`
+	ViewServed uint64          `json:"view_served_total"`
+	Zones      []viewsZoneJSON `json:"zones"`
 }
 
 // viewsDebug serves the zone router/view generation and rebuild stats — a
@@ -125,11 +134,14 @@ type viewsDebugJSON struct {
 func (s *Server) viewsDebug(w http.ResponseWriter, req *http.Request) {
 	store := s.Engine.Store
 	doc := viewsDebugJSON{
-		StoreGen:       store.Gen(),
-		ViewRebuilds:   store.ViewRebuilds(),
-		RouterRebuilds: store.RouterRebuilds(),
-		ViewServed:     s.Metrics.ViewServed.Load(),
-		Zones:          []viewsZoneJSON{},
+		StoreGen:            store.Gen(),
+		ViewRebuilds:        store.ViewRebuilds(),
+		RouterRebuilds:      store.RouterRebuilds(),
+		RouterShardRebuilds: store.ShardRebuilds(),
+		RouterShards:        store.RouterShards(),
+		SerialSum:           store.SerialSum(),
+		ViewServed:          s.Metrics.ViewServed.Load(),
+		Zones:               []viewsZoneJSON{},
 	}
 	for origin, serial := range store.Serials() {
 		zj := viewsZoneJSON{Origin: origin.String(), Serial: serial}

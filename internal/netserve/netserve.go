@@ -280,6 +280,9 @@ func NewWithRegistry(cfg Config, eng *nameserver.Engine, pipeline *filters.Pipel
 		func() float64 { return float64(eng.Store.ViewRebuilds()) })
 	reg.GaugeFunc(obs.MetricRouterRebuilds, "Lock-free zone router index rebuilds.",
 		func() float64 { return float64(eng.Store.RouterRebuilds()) })
+	reg.GaugeFunc(obs.MetricRouterShardRebuilds,
+		"Router shard maps cloned across rebuilds (dirty-shard width).",
+		func() float64 { return float64(eng.Store.ShardRebuilds()) })
 	s.Tracer = obs.NewTracer(reg, nil)
 	if pipeline != nil {
 		pipeline.Instrument(reg)

@@ -75,9 +75,10 @@ const (
 	MetricQueueTailDroppedTotal = "akamaidns_queue_taildropped_total"
 
 	// Compiled zone views (RCU read path).
-	MetricViewServedTotal   = "akamaidns_server_view_served_total"
-	MetricViewRebuildsTotal = "akamaidns_zone_view_rebuilds_total"
-	MetricRouterRebuilds    = "akamaidns_zone_router_rebuilds_total"
+	MetricViewServedTotal     = "akamaidns_server_view_served_total"
+	MetricViewRebuildsTotal   = "akamaidns_zone_view_rebuilds_total"
+	MetricRouterRebuilds      = "akamaidns_zone_router_rebuilds_total"
+	MetricRouterShardRebuilds = "akamaidns_zone_router_shard_rebuilds_total"
 
 	// Packed-response hot cache.
 	MetricHotCacheHitsTotal      = "akamaidns_hotcache_hits_total"

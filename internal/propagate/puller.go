@@ -327,13 +327,23 @@ func (p *Puller) handleCatalogLocked(now simtime.Time, resp *Response) func(simt
 		}
 	}
 	// Origins the controller no longer serves are deleted locally, at
-	// once — no network round trip needed.
+	// once — no network round trip needed. One store batch for all of
+	// them: a mass-deprovision catalog costs one dirty-shard republish
+	// instead of a republish per origin.
+	var gone []dnswire.Name
 	for origin := range locals {
 		if _, ok := resp.Serials[origin]; !ok {
-			if p.cfg.Store.Delete(origin) {
-				p.st.Deletes++
-			}
+			gone = append(gone, origin)
 		}
+	}
+	if len(gone) > 0 {
+		p.cfg.Store.Update(func(tx *zone.Tx) {
+			for _, origin := range gone {
+				if tx.Delete(origin) {
+					p.st.Deletes++
+				}
+			}
+		})
 	}
 	sort.Slice(items, func(i, j int) bool { return items[i].origin.Compare(items[j].origin) < 0 })
 	p.st.ZonesBehind = len(items)

@@ -19,36 +19,133 @@ type Store struct {
 	// bump). Caches keyed on store contents compare generations instead of
 	// subscribing to individual zones.
 	gen atomic.Uint64
-	// router is the immutable longest-match index rebuilt on zone
-	// install/remove, so Find/FindWire take no locks on the serve path.
+	// router is the immutable longest-match index, sharded by an FNV hash of
+	// the origin key so an Update republishes only the shards its batch
+	// dirtied. Find/FindWire take no locks on the serve path.
 	router         atomic.Pointer[routerView]
 	routerRebuilds atomic.Uint64
+	shardRebuilds  atomic.Uint64
+	// snap caches the generation-keyed Serials/Origins/SerialSum snapshot so
+	// invariant checks at large N stop serializing against writers.
+	snap atomic.Pointer[storeSnap]
 }
+
+// routerShards is the power-of-two shard count for the longest-match index.
+// At 10^6 zones each shard holds ~4k origins, so a dirty-shard republish
+// copies thousands of entries instead of millions.
+const (
+	routerShardBits = 8
+	routerShards    = 1 << routerShardBits
+	routerShardMask = routerShards - 1
+)
 
 // routerView indexes the installed zones by origin, once by canonical text
-// and once by wire-form bytes, so longest-match routing is one map probe per
-// stripped label with zero locks.
+// and once by wire-form bytes, each space split into routerShards maps keyed
+// by an FNV-1a hash of the full origin key. The view and every shard map are
+// immutable once published: Update clones only the dirty shards and swaps
+// the whole view in one atomic store, so a reader never sees a half-applied
+// batch. Unused shards stay nil (a nil map reads as empty).
 type routerView struct {
-	byText map[string]*Zone
-	byWire map[string]*Zone
+	text [routerShards]map[string]*Zone
+	wire [routerShards]map[string]*Zone
 }
 
-// rebuildRouterLocked publishes a fresh router snapshot; callers hold s.mu.
-func (s *Store) rebuildRouterLocked() {
-	r := &routerView{
-		byText: make(map[string]*Zone, len(s.zones)),
-		byWire: make(map[string]*Zone, len(s.zones)),
+// FNV-1a. The shard key hashes the entire origin key (not just the TLD-side
+// label): real and synthetic fleets cluster under shared parent suffixes,
+// and hashing only the trailing label would collapse them into one shard.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func shardIndex(s string) int {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
 	}
-	for o, z := range s.zones {
-		r.byText[o.String()] = z
-		r.byWire[string(o.AppendWire(nil))] = z
+	return int(h & routerShardMask)
+}
+
+// shardIndexBytes is shardIndex for wire-form keys. A separate []byte body
+// keeps FindWire allocation-free: converting the suffix to a string for a
+// plain argument would copy it, while m[string(b)] map probes do not.
+func shardIndexBytes(b []byte) int {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
+		h *= fnvPrime64
 	}
-	s.router.Store(r)
+	return int(h & routerShardMask)
+}
+
+// publishDirtyLocked publishes a router snapshot covering the origins
+// changed in one batch: dirty shards are cloned and patched, clean shards
+// carry their map pointers over untouched, and the new view becomes visible
+// in a single atomic swap. Cost is O(dirty origins + size of dirty shards),
+// independent of the total zone count. Callers hold s.mu.
+func (s *Store) publishDirtyLocked(dirty map[dnswire.Name]struct{}) {
+	prev := s.router.Load()
+	next := *prev // copy the shard pointer arrays; shard maps are shared
+
+	type patch struct {
+		key string
+		z   *Zone // nil: delete key from the shard
+	}
+	textPatches := make(map[int][]patch, 2)
+	wirePatches := make(map[int][]patch, 2)
+	for o := range dirty {
+		z := s.zones[o] // nil when the batch deleted the zone
+		tkey := o.String()
+		var wkey string
+		if z != nil {
+			wkey = z.originWire
+		} else {
+			wkey = string(o.AppendWire(nil))
+		}
+		ti, wi := shardIndex(tkey), shardIndex(wkey)
+		textPatches[ti] = append(textPatches[ti], patch{tkey, z})
+		wirePatches[wi] = append(wirePatches[wi], patch{wkey, z})
+	}
+	patchShard := func(old map[string]*Zone, ps []patch) map[string]*Zone {
+		m := make(map[string]*Zone, len(old)+len(ps))
+		for k, v := range old {
+			m[k] = v
+		}
+		for _, p := range ps {
+			if p.z != nil {
+				m[p.key] = p.z
+			} else {
+				delete(m, p.key)
+			}
+		}
+		return m
+	}
+	var rebuilt uint64
+	for si, ps := range textPatches {
+		next.text[si] = patchShard(prev.text[si], ps)
+		rebuilt++
+	}
+	for si, ps := range wirePatches {
+		next.wire[si] = patchShard(prev.wire[si], ps)
+		rebuilt++
+	}
+	s.router.Store(&next)
 	s.routerRebuilds.Add(1)
+	s.shardRebuilds.Add(rebuilt)
 }
 
-// RouterRebuilds reports how many times the routing index has been rebuilt.
+// RouterRebuilds reports how many batches have republished the routing index
+// (one per dirty Update, regardless of how many shards the batch touched).
 func (s *Store) RouterRebuilds() uint64 { return s.routerRebuilds.Load() }
+
+// ShardRebuilds reports the total number of shard maps cloned across all
+// router republishes. ShardRebuilds/RouterRebuilds is the average dirty-shard
+// width per batch; callers diff before/after an apply to histogram it.
+func (s *Store) ShardRebuilds() uint64 { return s.shardRebuilds.Load() }
+
+// RouterShards reports the fixed shard count of the routing index.
+func (s *Store) RouterShards() int { return routerShards }
 
 // ViewRebuilds sums the compiled-view rebuild counts across installed zones
 // (an observability scrape, not a hot path).
@@ -65,9 +162,7 @@ func (s *Store) ViewRebuilds() uint64 {
 // NewStore returns an empty zone store.
 func NewStore() *Store {
 	s := &Store{zones: make(map[dnswire.Name]*Zone)}
-	s.mu.Lock()
-	s.rebuildRouterLocked()
-	s.mu.Unlock()
+	s.router.Store(&routerView{})
 	return s
 }
 
@@ -79,20 +174,21 @@ func (s *Store) bump() { s.gen.Add(1) }
 
 // Tx batches zone installs and removals under one store lock: every
 // mutation made inside a single Update call becomes visible together, with
-// exactly one suffix-router rebuild and one generation bump for the whole
-// batch instead of one per zone. Control-plane applies that touch hundreds
-// of zones use this to keep rebuild cost O(batch), not O(batch × zones).
-// A Tx is only valid inside the Update callback that provided it.
+// exactly one router republish and one generation bump for the whole batch
+// instead of one per zone. The Tx tracks which origins the batch dirtied so
+// the republish clones only the router shards those origins hash into —
+// apply cost is O(change), not O(store). A Tx is only valid inside the
+// Update callback that provided it.
 type Tx struct {
 	s     *Store
-	dirty bool
+	dirty map[dnswire.Name]struct{}
 }
 
 // Put installs (or replaces) a zone within the batch.
 func (tx *Tx) Put(z *Zone) {
 	z.setChangeHook(tx.s.bump)
 	tx.s.zones[z.Origin()] = z
-	tx.dirty = true
+	tx.dirty[z.Origin()] = struct{}{}
 }
 
 // Delete removes the zone with the given origin within the batch, reporting
@@ -104,7 +200,7 @@ func (tx *Tx) Delete(origin dnswire.Name) bool {
 	}
 	delete(tx.s.zones, origin)
 	z.setChangeHook(nil)
-	tx.dirty = true
+	tx.dirty[origin] = struct{}{}
 	return true
 }
 
@@ -116,34 +212,35 @@ func (tx *Tx) Get(origin dnswire.Name) *Zone { return tx.s.zones[origin] }
 func (tx *Tx) Len() int { return len(tx.s.zones) }
 
 // Update runs fn against a batch transaction holding the store lock. If fn
-// mutated anything, the router is rebuilt once and the generation bumped
-// once after fn returns — the debounce that turns an N-zone apply into a
-// single rebuild. Lock-free readers (Find/FindWire) keep routing on the old
-// snapshot until the rebuild publishes, so a batch is atomic with respect
-// to the router: no reader ever observes a half-applied zone set.
+// mutated anything, the dirty router shards are republished once and the
+// generation bumped once before the lock is released — the debounce that
+// turns an N-zone apply into a single republish. Lock-free readers
+// (Find/FindWire) keep routing on the old snapshot until the swap publishes,
+// so a batch is atomic with respect to the router: no reader ever observes a
+// half-applied zone set.
 func (s *Store) Update(fn func(tx *Tx)) {
-	tx := &Tx{s: s}
+	tx := &Tx{s: s, dirty: make(map[dnswire.Name]struct{})}
 	s.mu.Lock()
 	fn(tx)
-	if tx.dirty {
-		s.rebuildRouterLocked()
-	}
-	s.mu.Unlock()
-	if tx.dirty {
+	if len(tx.dirty) > 0 {
+		s.publishDirtyLocked(tx.dirty)
+		// Bump inside the lock: generation-keyed snapshots read gen under
+		// RLock, so gen and content move together.
 		s.bump()
 	}
+	s.mu.Unlock()
 }
 
 // Put installs (or replaces) a zone and subscribes to its in-place
 // mutations, so serial bumps on a live zone invalidate store-derived caches.
-// A single-zone batch: use Update to install many zones with one rebuild.
+// A single-zone batch: use Update to install many zones with one republish.
 func (s *Store) Put(z *Zone) {
 	s.Update(func(tx *Tx) { tx.Put(z) })
 }
 
 // Delete removes the zone with the given origin, reporting whether it
 // existed. A single-zone batch: use Update to remove many zones with one
-// rebuild.
+// republish.
 func (s *Store) Delete(origin dnswire.Name) (ok bool) {
 	s.Update(func(tx *Tx) { ok = tx.Delete(origin) })
 	return ok
@@ -159,7 +256,8 @@ func (s *Store) Get(origin dnswire.Name) *Zone {
 // Find returns the zone with the longest origin that is an ancestor of (or
 // equal to) name, or nil when the server is not authoritative for name. It
 // walks the name's suffixes against the lock-free router index, so cost is
-// O(labels) regardless of how many zones are installed.
+// O(labels) hash+probe operations regardless of how many zones are
+// installed.
 func (s *Store) Find(name dnswire.Name) *Zone {
 	if name.IsZero() {
 		return nil
@@ -167,7 +265,7 @@ func (s *Store) Find(name dnswire.Name) *Zone {
 	r := s.router.Load()
 	t := name.String()
 	for t != "" {
-		if z := r.byText[t]; z != nil {
+		if z := r.text[shardIndex(t)][t]; z != nil {
 			return z
 		}
 		i := strings.IndexByte(t, '.')
@@ -177,7 +275,7 @@ func (s *Store) Find(name dnswire.Name) *Zone {
 		if i == len(t)-1 {
 			// Last label stripped: the remaining suffix is the root ".".
 			t = "."
-			if z := r.byText[t]; z != nil {
+			if z := r.text[shardIndex(t)][t]; z != nil {
 				return z
 			}
 			break
@@ -194,7 +292,8 @@ func (s *Store) Find(name dnswire.Name) *Zone {
 func (s *Store) FindWire(qname []byte) (*Zone, int, bool) {
 	r := s.router.Load()
 	for o := 0; o < len(qname); {
-		if z := r.byWire[string(qname[o:])]; z != nil {
+		suf := qname[o:]
+		if z := r.wire[shardIndexBytes(suf)][string(suf)]; z != nil {
 			return z, o, true
 		}
 		if qname[o] == 0 {
@@ -205,29 +304,86 @@ func (s *Store) FindWire(qname []byte) (*Zone, int, bool) {
 	return nil, 0, false
 }
 
-// Origins lists the zone origins in canonical order.
-func (s *Store) Origins() []dnswire.Name {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]dnswire.Name, 0, len(s.zones))
-	for o := range s.zones {
-		out = append(out, o)
+// storeSnap is an immutable, generation-keyed snapshot of the store's
+// origin/serial state. Serials and Origins hand out the snapshot's shared
+// map/slice directly — callers own a read-only view and must not mutate it.
+type storeSnap struct {
+	gen     uint64
+	serials map[dnswire.Name]uint32
+	origins []dnswire.Name
+	sum     uint64
+}
+
+// snapshot returns the current generation's snapshot, building it at most
+// once per generation. Repeated invariant sweeps (chaos checks every event)
+// hit the cached pointer and never touch the store lock.
+func (s *Store) snapshot() *storeSnap {
+	if sn := s.snap.Load(); sn != nil && sn.gen == s.gen.Load() {
+		return sn
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
-	return out
+	s.mu.RLock()
+	// Read gen before the content: an in-place zone mutation mid-iteration
+	// can only make the content newer than the recorded gen, so the worst
+	// case is an immediately-stale snapshot, never a stale-content one.
+	gen := s.gen.Load()
+	sn := &storeSnap{
+		gen:     gen,
+		serials: make(map[dnswire.Name]uint32, len(s.zones)),
+		origins: make([]dnswire.Name, 0, len(s.zones)),
+	}
+	for o, z := range s.zones {
+		ser := z.Serial()
+		sn.serials[o] = ser
+		sn.origins = append(sn.origins, o)
+		sn.sum += mixSerial(o, ser)
+	}
+	s.mu.RUnlock()
+	sort.Slice(sn.origins, func(i, j int) bool { return sn.origins[i].Compare(sn.origins[j]) < 0 })
+	s.snap.Store(sn)
+	return sn
+}
+
+// mixSerial hashes one (origin, serial) pair into a 64-bit summand. The
+// per-zone hashes are combined by addition, making SerialSum independent of
+// iteration order; the splitmix64 finalizer keeps near-identical pairs from
+// producing correlated summands.
+func mixSerial(o dnswire.Name, serial uint32) uint64 {
+	h := uint64(fnvOffset64)
+	t := o.String()
+	for i := 0; i < len(t); i++ {
+		h ^= uint64(t[i])
+		h *= fnvPrime64
+	}
+	h ^= uint64(serial) * 0x9E3779B97F4A7C15
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return h
+}
+
+// Origins lists the zone origins in canonical order. The returned slice is a
+// shared generation-keyed snapshot: treat it as read-only.
+func (s *Store) Origins() []dnswire.Name {
+	return s.snapshot().origins
 }
 
 // Serials snapshots every zone's SOA serial, keyed by origin. Callers that
 // audit propagation (the chaos harness's zone-stall invariants, soak
-// summaries) compare snapshots instead of holding zone references.
+// summaries) compare snapshots instead of holding zone references. The
+// returned map is a shared generation-keyed snapshot: treat it as read-only
+// and copy before mutating.
 func (s *Store) Serials() map[dnswire.Name]uint32 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make(map[dnswire.Name]uint32, len(s.zones))
-	for o, z := range s.zones {
-		out[o] = z.Serial()
-	}
-	return out
+	return s.snapshot().serials
+}
+
+// SerialSum returns an order-independent hash over every (origin, serial)
+// pair. Two stores with equal sums almost certainly hold identical serial
+// maps; unequal sums definitely differ. Convergence sweeps compare sums in
+// O(1) off the snapshot cache instead of diffing N-entry maps per check.
+func (s *Store) SerialSum() uint64 {
+	return s.snapshot().sum
 }
 
 // Len reports the number of zones.
@@ -239,7 +395,10 @@ func (s *Store) Len() int {
 
 // Transfer produces an AXFR-style record stream for the zone at origin:
 // SOA, all other records, SOA again (RFC 5936 framing). Returns nil when
-// the zone does not exist or has no SOA.
+// the zone does not exist or has no SOA. The full-slice expression pins the
+// append to a fresh backing array, so the trailing SOA can never scribble
+// into spare capacity owned by AllRecords' snapshot (the ownership contract
+// TestTransferOwnership asserts).
 func (s *Store) Transfer(origin dnswire.Name) []dnswire.RR {
 	z := s.Get(origin)
 	if z == nil {
@@ -250,7 +409,7 @@ func (s *Store) Transfer(origin dnswire.Name) []dnswire.RR {
 		return nil
 	}
 	recs := z.AllRecords()
-	return append(recs, soa)
+	return append(recs[:len(recs):len(recs)], soa)
 }
 
 // FromTransfer reassembles a zone from an AXFR-style stream, validating

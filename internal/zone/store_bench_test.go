@@ -42,3 +42,91 @@ func benchStoreFind(b *testing.B, n int) {
 
 func BenchmarkStoreFind8Zones(b *testing.B)   { benchStoreFind(b, 8) }
 func BenchmarkStoreFind256Zones(b *testing.B) { benchStoreFind(b, 256) }
+
+// BenchmarkStoreFindWire pins the serve-path contract under sharding: the
+// wire-form longest-match probe must stay lock-free and 0 allocs/op at any
+// store size (the per-probe shard hash is index arithmetic, not allocation).
+func BenchmarkStoreFindWire(b *testing.B) {
+	s := benchStore(1 << 14)
+	hit := dnswire.MustName("a.b.c.www.z0013333.rebuild.bench.").AppendWire(nil)
+	miss := dnswire.MustName("a.b.c.unrelated.invalid.").AppendWire(nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := s.FindWire(hit); !ok {
+			b.Fatal("no zone for hit name")
+		}
+		if _, _, ok := s.FindWire(miss); ok {
+			b.Fatal("zone for miss name")
+		}
+	}
+}
+
+// benchStores caches populated stores across benchmark re-invocations:
+// go test re-runs a benchmark function with growing b.N, and rebuilding a
+// 10^6-zone store per invocation would dominate the run.
+var benchStores = map[int]*Store{}
+
+func benchStore(n int) *Store {
+	if s := benchStores[n]; s != nil {
+		return s
+	}
+	s := NewStore()
+	s.Update(func(tx *Tx) {
+		for i := 0; i < n; i++ {
+			// Empty zones: router rebuild cost depends only on the origin
+			// set, and records would put a 10^6-zone store past 1 GB.
+			tx.Put(New(dnswire.MustName(fmt.Sprintf("z%07d.rebuild.bench.", i))))
+		}
+	})
+	benchStores[n] = s
+	return s
+}
+
+// benchRouterRebuildFull measures what the pre-sharding monolithic router
+// paid on EVERY apply: re-rendering each origin's text and wire keys and
+// re-inserting all n zones into fresh maps, under the store write lock.
+func benchRouterRebuildFull(b *testing.B, n int) {
+	s := benchStore(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.mu.Lock()
+		r := &routerView{}
+		for o, z := range s.zones {
+			tkey := o.String()
+			wkey := string(o.AppendWire(nil))
+			ti, wi := shardIndex(tkey), shardIndex(wkey)
+			if r.text[ti] == nil {
+				r.text[ti] = make(map[string]*Zone)
+			}
+			if r.wire[wi] == nil {
+				r.wire[wi] = make(map[string]*Zone)
+			}
+			r.text[ti][tkey] = z
+			r.wire[wi][wkey] = z
+		}
+		s.router.Store(r)
+		s.mu.Unlock()
+	}
+}
+
+// benchRouterRebuildDirty1 measures the sharded path for the same store: a
+// single-zone Update that clones and patches only the 1-2 shards the origin
+// hashes into. The full/dirty ratio at each n is the apply-latency win.
+func benchRouterRebuildDirty1(b *testing.B, n int) {
+	s := benchStore(n)
+	z := New(dnswire.MustName("z0000000.rebuild.bench."))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Update(func(tx *Tx) { tx.Put(z) })
+	}
+}
+
+func BenchmarkRouterRebuildFull1e4(b *testing.B)    { benchRouterRebuildFull(b, 1e4) }
+func BenchmarkRouterRebuildFull1e5(b *testing.B)    { benchRouterRebuildFull(b, 1e5) }
+func BenchmarkRouterRebuildFull1e6(b *testing.B)    { benchRouterRebuildFull(b, 1e6) }
+func BenchmarkRouterRebuildDirty1_1e4(b *testing.B) { benchRouterRebuildDirty1(b, 1e4) }
+func BenchmarkRouterRebuildDirty1_1e5(b *testing.B) { benchRouterRebuildDirty1(b, 1e5) }
+func BenchmarkRouterRebuildDirty1_1e6(b *testing.B) { benchRouterRebuildDirty1(b, 1e6) }

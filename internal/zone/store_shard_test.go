@@ -1,0 +1,193 @@
+package zone
+
+import (
+	"fmt"
+	"testing"
+
+	"akamaidns/internal/dnswire"
+)
+
+// TestShardedRouterParity installs enough zones to populate many shards and
+// checks Find/FindWire route every one of them — including a root zone, a
+// TLD zone, and deep multi-label origins — exactly as the monolithic index
+// did.
+func TestShardedRouterParity(t *testing.T) {
+	s := NewStore()
+	origins := []dnswire.Name{
+		dnswire.MustName("."),
+		dnswire.MustName("example."),
+		dnswire.MustName("a.very.deep.origin.example.com."),
+	}
+	for i := 0; i < 1024; i++ {
+		origins = append(origins, dnswire.MustName(fmt.Sprintf("z%04d.shard.test.", i)))
+	}
+	s.Update(func(tx *Tx) {
+		for _, o := range origins {
+			tx.Put(New(o))
+		}
+	})
+	for _, o := range origins {
+		if z := s.Find(o); z == nil || z.Origin() != o {
+			t.Fatalf("Find(%s) = %v, want the zone itself", o, z)
+		}
+		wire := o.AppendWire(nil)
+		z, off, ok := s.FindWire(wire)
+		if !ok || z.Origin() != o || off != 0 {
+			t.Fatalf("FindWire(%s) = %v,%d,%v", o, z, off, ok)
+		}
+	}
+	// Longest-match: a name under a deep zone routes to the deep zone, not
+	// to the root or TLD zone also installed above it.
+	deep := dnswire.MustName("www.a.very.deep.origin.example.com.")
+	if z := s.Find(deep); z == nil || z.Origin() != origins[2] {
+		t.Fatalf("Find(deep) routed to %v, want %s", z, origins[2])
+	}
+	wire := deep.AppendWire(nil)
+	if z, off, ok := s.FindWire(wire); !ok || z.Origin() != origins[2] || off != 4 {
+		t.Fatalf("FindWire(deep) = %v,%d,%v, want deep zone at offset 4", z, off, ok)
+	}
+	// A miss under no zone falls through to the root zone (longest match ".").
+	if z := s.Find(dnswire.MustName("nowhere.invalid.")); z == nil || !z.Origin().IsRoot() {
+		t.Fatalf("miss did not fall through to the root zone: %v", z)
+	}
+}
+
+// TestDirtyShardAccounting pins the O(Δ) contract: a single-zone Update
+// republishes at most two shard maps (one text, one wire — possibly the
+// same index), no matter how many zones are installed.
+func TestDirtyShardAccounting(t *testing.T) {
+	s := NewStore()
+	s.Update(func(tx *Tx) {
+		for i := 0; i < 2048; i++ {
+			tx.Put(New(dnswire.MustName(fmt.Sprintf("z%04d.dirty.test.", i))))
+		}
+	})
+	shards0, rebuilds0 := s.ShardRebuilds(), s.RouterRebuilds()
+	s.Put(New(dnswire.MustName("z0000.dirty.test."))) // replace one zone
+	if d := s.ShardRebuilds() - shards0; d == 0 || d > 2 {
+		t.Fatalf("single-zone update rebuilt %d shards, want 1-2", d)
+	}
+	if d := s.RouterRebuilds() - rebuilds0; d != 1 {
+		t.Fatalf("single-zone update republished %d times, want 1", d)
+	}
+	// A delete patches the same shards it was installed into.
+	shards1 := s.ShardRebuilds()
+	if !s.Delete(dnswire.MustName("z0001.dirty.test.")) {
+		t.Fatal("delete of installed zone failed")
+	}
+	if d := s.ShardRebuilds() - shards1; d == 0 || d > 2 {
+		t.Fatalf("single-zone delete rebuilt %d shards, want 1-2", d)
+	}
+	if s.Find(dnswire.MustName("www.z0001.dirty.test.")) != nil {
+		t.Fatal("deleted zone still routable")
+	}
+	if s.Find(dnswire.MustName("www.z0002.dirty.test.")) == nil {
+		t.Fatal("untouched zone lost after dirty-shard republish")
+	}
+}
+
+// TestSnapshotCache checks the generation-keyed Serials/Origins/SerialSum
+// snapshot: identical pointers while the store is unchanged, invalidation on
+// batch updates AND on in-place serial bumps of installed zones.
+func TestSnapshotCache(t *testing.T) {
+	s := NewStore()
+	z := MustParseMaster(`
+$TTL 300
+@ IN SOA ns1 host ( 1 3600 600 604800 30 )
+www IN A 192.0.2.1
+`, dnswire.MustName("snap.test."))
+	s.Put(z)
+	s.Put(New(dnswire.MustName("other.snap.test.")))
+
+	ser1 := s.Serials()
+	org1 := s.Origins()
+	sum1 := s.SerialSum()
+	if len(ser1) != 2 || len(org1) != 2 {
+		t.Fatalf("snapshot sizes = %d/%d, want 2/2", len(ser1), len(org1))
+	}
+	if org1[0].Compare(org1[1]) >= 0 {
+		t.Fatal("Origins not in canonical order")
+	}
+	// Unchanged store: the same shared snapshot comes back, no rebuild.
+	if s.SerialSum() != sum1 {
+		t.Fatal("stable store changed SerialSum")
+	}
+	ser2 := s.Serials()
+	if fmt.Sprintf("%p", ser1) != fmt.Sprintf("%p", ser2) {
+		t.Fatal("unchanged store rebuilt the snapshot map")
+	}
+
+	// An in-place serial bump (no Update batch) must invalidate the cache:
+	// the zone hook bumps the store generation.
+	z.SetSerial(7)
+	ser3 := s.Serials()
+	if ser3[dnswire.MustName("snap.test.")] != 7 {
+		t.Fatalf("snapshot missed in-place serial bump: %v", ser3)
+	}
+	if s.SerialSum() == sum1 {
+		t.Fatal("SerialSum unchanged after serial bump")
+	}
+
+	// A batch change invalidates too, and the sum is order-independent
+	// state, so two stores with the same content agree.
+	s.Delete(dnswire.MustName("other.snap.test."))
+	s2 := NewStore()
+	z2 := MustParseMaster(`
+$TTL 300
+@ IN SOA ns1 host ( 7 3600 600 604800 30 )
+www IN A 192.0.2.1
+`, dnswire.MustName("snap.test."))
+	s2.Put(z2)
+	if s.SerialSum() != s2.SerialSum() {
+		t.Fatalf("equal stores disagree on SerialSum: %d vs %d", s.SerialSum(), s2.SerialSum())
+	}
+}
+
+// TestTransferOwnership asserts the AXFR stream ownership contract: the
+// slice Transfer returns is caller-owned — appending to or mutating it must
+// never reach zone-owned memory or a later snapshot.
+func TestTransferOwnership(t *testing.T) {
+	s := NewStore()
+	z := MustParseMaster(`
+$TTL 300
+@ IN SOA ns1 host ( 5 3600 600 604800 30 )
+www IN A 192.0.2.1
+txt IN TXT "hello"
+`, dnswire.MustName("xfer.test."))
+	s.Put(z)
+
+	origin := dnswire.MustName("xfer.test.")
+	t1 := s.Transfer(origin)
+	if len(t1) < 4 {
+		t.Fatalf("transfer stream too short: %d records", len(t1))
+	}
+	// RFC 5936 framing: SOA first and last, same serial.
+	first, okF := t1[0].(*dnswire.SOA)
+	last, okL := t1[len(t1)-1].(*dnswire.SOA)
+	if !okF || !okL || first.Serial != 5 || last.Serial != 5 {
+		t.Fatalf("bad SOA framing: %v ... %v", t1[0], t1[len(t1)-1])
+	}
+
+	// Scribble over the caller's copy: append past the end and mutate every
+	// record header in place.
+	_ = append(t1, t1[0])
+	for _, rr := range t1 {
+		rr.Header().TTL = 12345
+		rr.Header().Name = dnswire.MustName("scribbled.invalid.")
+	}
+
+	// A second transfer and the zone's own records must be untouched.
+	t2 := s.Transfer(origin)
+	if len(t2) != len(t1) {
+		t.Fatalf("second transfer has %d records, want %d", len(t2), len(t1))
+	}
+	for i, rr := range t2 {
+		h := rr.Header()
+		if h.TTL == 12345 || h.Name == dnswire.MustName("scribbled.invalid.") {
+			t.Fatalf("record %d in second transfer aliases the scribbled first stream: %v", i, rr)
+		}
+	}
+	if got := z.RRset(dnswire.MustName("www.xfer.test."), dnswire.TypeA); len(got) != 1 || got[0].Header().TTL != 300 {
+		t.Fatalf("zone-owned record mutated through transfer stream: %v", got)
+	}
+}

@@ -25,7 +25,10 @@ type rrKey struct {
 type Zone struct {
 	mu     sync.RWMutex
 	origin dnswire.Name
-	sets   map[rrKey][]dnswire.RR
+	// originWire is the origin's wire-form routing key, rendered once at
+	// construction so store router republishes never re-encode names.
+	originWire string
+	sets       map[rrKey][]dnswire.RR
 	// names tracks every owner name with data, plus all "empty non-terminal"
 	// ancestors, so NXDOMAIN vs NODATA is decided correctly.
 	names  map[dnswire.Name]bool
@@ -42,9 +45,10 @@ type Zone struct {
 // New creates an empty zone rooted at origin.
 func New(origin dnswire.Name) *Zone {
 	return &Zone{
-		origin: origin,
-		sets:   make(map[rrKey][]dnswire.RR),
-		names:  make(map[dnswire.Name]bool),
+		origin:     origin,
+		originWire: string(origin.AppendWire(nil)),
+		sets:       make(map[rrKey][]dnswire.RR),
+		names:      make(map[dnswire.Name]bool),
 	}
 }
 
